@@ -1,0 +1,20 @@
+"""Ablation benches for MORC's individual design choices (DESIGN.md §4)."""
+
+from benchmarks.common import emit, run_once
+from repro.experiments import ablations
+from repro.experiments.runner import amean
+
+
+def test_ablations(benchmark, capsys):
+    result = run_once(benchmark, ablations.run)
+    emit(capsys, ablations.render(result))
+    # LBE's inter-line matches are the point: it must beat per-line
+    # C-Pack inside the identical log organisation.
+    assert (amean(result.algorithm_ratio["MORC (LBE)"])
+            > amean(result.algorithm_ratio["MORC (C-Pack)"]))
+    # Two tag bases never hurt.
+    assert (amean(result.tag_bases_ratio["2 base(s)"])
+            >= amean(result.tag_bases_ratio["1 base(s)"]) * 0.97)
+    # Column-associative LMT cuts conflict evictions (paper §3.2.2).
+    assert (amean(result.lmt_conflict_rate["2-way LMT"])
+            <= amean(result.lmt_conflict_rate["1-way LMT"]))

@@ -1,0 +1,21 @@
+"""Extension benches: link compression stacking, banked DDR3 robustness."""
+
+import pytest
+
+from benchmarks.common import emit, run_once
+from repro.experiments import extensions
+from repro.experiments.runner import amean
+
+
+def test_extensions(benchmark, capsys):
+    result = run_once(benchmark, extensions.run)
+    emit(capsys, extensions.render(result))
+    tp = result.link_throughput
+    # Link compression helps on its own and stacks with MORC.
+    assert (amean(tp["Uncompressed+link"])
+            > amean(tp["Uncompressed"]) * 0.99)
+    assert amean(tp["MORC+link"]) >= amean(tp["MORC"]) * 0.99
+    # MORC's win survives the bank-level DDR3 model.
+    banked = result.banked_vs_simple
+    assert (amean(banked["banked DDR3"])
+            == pytest.approx(amean(banked["simple channel"]), rel=0.5))

@@ -1,0 +1,15 @@
+"""Regenerates Figure 10: performance across bandwidth availability."""
+
+from benchmarks.common import emit, run_once
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, capsys):
+    result = run_once(benchmark, figure10.run)
+    emit(capsys, figure10.render(result))
+    morc_tp = result.normalized_throughput["MORC"]
+    # Paper: MORC's advantage grows as bandwidth starves (12.5 MB/s point
+    # beats the abundant 1600 MB/s point).
+    assert morc_tp[-1] > morc_tp[0]
+    # At starvation MORC delivers a clear throughput win.
+    assert morc_tp[-1] > 1.1

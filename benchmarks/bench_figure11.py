@@ -1,0 +1,14 @@
+"""Regenerates Figure 11: MORC across cache sizes."""
+
+from benchmarks.common import emit, run_once
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, capsys):
+    result = run_once(benchmark, figure11.run)
+    emit(capsys, figure11.render(result))
+    # Paper: bandwidth savings persist for small-to-medium caches and
+    # fade once working sets fit (4MB).
+    assert result.normalized_bandwidth[0] < 1.0
+    assert (result.normalized_bandwidth[-1]
+            > result.normalized_bandwidth[0] - 0.05)

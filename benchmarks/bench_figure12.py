@@ -1,0 +1,15 @@
+"""Regenerates Figure 12: write-back-induced invalid lines."""
+
+from benchmarks.common import bench_benchmarks, emit, run_once
+from repro.experiments import figure12
+from repro.experiments.runner import amean
+
+
+def test_figure12(benchmark, capsys):
+    outcomes = run_once(benchmark, figure12.run,
+                        benchmarks=bench_benchmarks())
+    emit(capsys, figure12.render(outcomes))
+    # Paper: the non-inclusive policy sharply reduces dead-line occupancy.
+    mean_inclusive = amean([o.inclusive_pct for o in outcomes])
+    mean_non_inclusive = amean([o.non_inclusive_pct for o in outcomes])
+    assert mean_non_inclusive < mean_inclusive

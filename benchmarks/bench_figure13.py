@@ -1,0 +1,27 @@
+"""Regenerates Figure 13: log-size and active-log-count sweeps."""
+
+import os
+
+from benchmarks.common import emit, run_once
+from repro.experiments import figure13
+from repro.experiments.runner import amean
+
+
+def _benchmarks():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return list(figure13.SWEEP_BENCHMARKS)
+    return ["gcc", "mcf"]
+
+
+def test_figure13(benchmark, capsys):
+    # The 16-64-active-log arms trial-compress every fill against every
+    # log; restrict the default bench to two benchmarks to keep this
+    # sweep minutes-level (REPRO_BENCH_FULL restores the full list).
+    result = run_once(benchmark, figure13.run, benchmarks=_benchmarks())
+    emit(capsys, figure13.render(result))
+    # Paper: tiny 64B logs cripple compression; growing the log helps.
+    assert (amean(result.by_log_size[512])
+            > amean(result.by_log_size[64]))
+    # Multiple active logs beat a single log (content-aware placement).
+    assert (amean(result.by_active_logs[8])
+            >= amean(result.by_active_logs[1]) * 0.95)

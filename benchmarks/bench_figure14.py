@@ -1,0 +1,18 @@
+"""Regenerates Figure 14: distribution of MORC access latencies."""
+
+from benchmarks.common import bench_benchmarks, emit, run_once
+from repro.experiments import figure14
+
+
+def test_figure14(benchmark, capsys):
+    distributions = run_once(benchmark, figure14.run,
+                             benchmarks=bench_benchmarks())
+    emit(capsys, figure14.render(distributions))
+    for dist in distributions:
+        total = sum(dist.fractions.values())
+        if total == 0:
+            continue
+        # Paper: hits are spread across log depths, not clustered at the
+        # front — usefulness is position-independent.
+        front = dist.fractions["<64"]
+        assert front < 0.9

@@ -1,0 +1,15 @@
+"""Regenerates Figure 15: MORC vs MORCMerged."""
+
+from benchmarks.common import bench_benchmarks, emit, run_once
+from repro.experiments import figure15
+from repro.experiments.runner import amean
+
+
+def test_figure15(benchmark, capsys):
+    outcomes = run_once(benchmark, figure15.run,
+                        benchmarks=bench_benchmarks())
+    emit(capsys, figure15.render(outcomes))
+    # Paper: merging tags into the data logs costs little compression.
+    mean_split = amean([o.morc_ratio for o in outcomes])
+    mean_merged = amean([o.merged_ratio for o in outcomes])
+    assert mean_merged > 0.75 * mean_split

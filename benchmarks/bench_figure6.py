@@ -1,0 +1,22 @@
+"""Regenerates Figure 6: single-program compression ratio, bandwidth,
+IPC improvement and 4-thread throughput improvement."""
+
+from benchmarks.common import bench_benchmarks, emit, run_once
+from repro.experiments import figure6
+from repro.experiments.runner import amean, geomean
+
+
+def test_figure6(benchmark, capsys):
+    result = run_once(benchmark, figure6.run,
+                      benchmarks=bench_benchmarks())
+    emit(capsys, figure6.render(result))
+    ratios = result.ratio_series()
+    # Paper ordering: MORC > SC2 > Decoupled >= Adaptive on mean ratio.
+    assert amean(ratios["MORC"]) > amean(ratios["SC2"])
+    assert amean(ratios["SC2"]) > amean(ratios["Adaptive"])
+    # MORC saves bandwidth versus the uncompressed baseline on average.
+    bandwidth = result.bandwidth_series()
+    assert (geomean(bandwidth["MORC"])
+            < geomean(bandwidth["Uncompressed"]))
+    # ...and converts it into positive mean throughput gains.
+    assert amean(result.throughput_improvement_series()["MORC"]) > 0

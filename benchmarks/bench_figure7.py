@@ -1,0 +1,20 @@
+"""Regenerates Figure 7: normalized LBE encoding-symbol distribution."""
+
+from benchmarks.common import bench_benchmarks, emit, run_once
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, capsys):
+    distributions = run_once(benchmark, figure7.run,
+                             benchmarks=bench_benchmarks())
+    emit(capsys, figure7.render(distributions))
+    by_name = {d.benchmark: d for d in distributions}
+    # cactusADM's coarse duplication shows up as non-zero m256 usage.
+    cactus = by_name.get("cactusADM")
+    if cactus is not None:
+        non_zero_m256 = cactus.total["m256"] - cactus.zero_portion["m256"]
+        assert non_zero_m256 > 0.1
+    # gcc is zero-dominated (its zero bars track its totals).
+    gcc = by_name.get("gcc")
+    if gcc is not None:
+        assert sum(gcc.zero_portion.values()) > 0.3

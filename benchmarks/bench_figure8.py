@@ -1,0 +1,23 @@
+"""Regenerates Figure 8: multi-program (16-thread) workloads."""
+
+import os
+
+from benchmarks.common import emit, run_once
+from repro.experiments import figure8
+from repro.experiments.runner import amean
+
+
+def _mixes():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return ["M0", "M1", "M2", "M3",
+                "S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7"]
+    return list(figure8.DEFAULT_MIXES)
+
+
+def test_figure8(benchmark, capsys):
+    result = run_once(benchmark, figure8.run, mixes=_mixes())
+    emit(capsys, figure8.render(result))
+    ratios = result.ratio_series()
+    # MORC compresses the shared LLC at least as well as Adaptive on
+    # average (strictly better once budgets let the 2MB LLC fill).
+    assert amean(ratios["MORC"]) > amean(ratios["Adaptive"]) * 0.98

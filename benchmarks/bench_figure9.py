@@ -1,0 +1,16 @@
+"""Regenerates Figure 9: memory-subsystem energy + MORC breakdown."""
+
+from benchmarks.common import bench_benchmarks, emit, run_once
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, capsys):
+    result = run_once(benchmark, figure9.run,
+                      benchmarks=bench_benchmarks())
+    emit(capsys, figure9.render(result))
+    # Paper: MORC reduces mean memory-subsystem energy (17% on their
+    # testbed) by removing DRAM accesses.
+    assert result.mean_saving_pct("MORC") > 0
+    # Decompression energy stays a minor share of MORC's total.
+    for breakdown in result.morc_breakdowns():
+        assert breakdown.decompression_j < 0.5 * breakdown.total_j

@@ -1,0 +1,20 @@
+"""Microbenchmark calibration bench (simulator regression net)."""
+
+from benchmarks.common import emit, run_once
+from repro.experiments import microbench
+
+
+def test_microbench(benchmark, capsys):
+    result = run_once(benchmark, microbench.run)
+    emit(capsys, microbench.render(result))
+    micros = result.micros
+    memset = micros.index("memset")
+    stream = micros.index("stream")
+    random_index = micros.index("random_incompressible")
+    # Zeros: MORC sails past the baselines' tag ceilings.
+    assert result.ratio["MORC"][memset] > result.ratio["Adaptive"][memset]
+    # A pure stream has no reuse for anyone.
+    for scheme in result.miss_rate:
+        assert result.miss_rate[scheme][stream] > 0.9
+    # Incompressible data stays ~1x everywhere.
+    assert result.ratio["MORC"][random_index] < 1.2

@@ -1,0 +1,10 @@
+"""Regenerates Table 1: energy of 64b operations."""
+
+from benchmarks.common import emit, run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark, capsys):
+    operations = run_once(benchmark, table1.run)
+    emit(capsys, table1.render(operations))
+    assert table1.offchip_onchip_ratio(operations) > 1000

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+rendered rows.  Budgets are sized so the whole suite completes in tens of
+minutes on a laptop; set ``REPRO_BENCH_FULL=1`` for the full Figure 6
+workload list and ``REPRO_SCALE=<mult>`` to lengthen every trace.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.runner import DEFAULT_BENCHMARKS
+
+#: compact-but-representative workload list covering every data archetype
+BENCH_BENCHMARKS = [
+    "astar", "gcc", "h264ref", "hmmer", "mcf", "omnetpp",
+    "bzip2", "cactusADM", "povray", "soplex",
+]
+
+
+def bench_benchmarks() -> list:
+    """Workload list for benches (full Figure 6 set when requested)."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return list(DEFAULT_BENCHMARKS)
+    return list(BENCH_BENCHMARKS)
+
+
+def run_once(benchmark_fixture, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark_fixture.pedantic(func, args=args, kwargs=kwargs,
+                                      iterations=1, rounds=1)
+
+
+def emit(capsys, text: str) -> None:
+    """Print a rendered table past pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(text)
+        print()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Figure 1, live: how a log-based cache fills versus a set-based cache.
+
+The paper's opening figure contrasts indexing disciplines: a set-based
+cache scatters incoming lines to sets by address bits, while a log-based
+cache appends them in arrival order, letting lines with similar content
+land adjacently and share a compression dictionary.  This example fills
+both organisations with the same access sequence and prints where every
+line ended up — plus what that did to compression.
+
+Usage::
+
+    python examples/log_vs_set.py
+"""
+
+import random
+
+from repro.cache.set_assoc import UncompressedCache
+from repro.common.config import CacheGeometry, MorcConfig
+from repro.morc.cache import MorcCache
+
+
+def main() -> None:
+    rng = random.Random(7)
+    # Two content "types": A-lines and B-lines share 32B blocks within
+    # their type but not across types.
+    pools = {
+        "A": [rng.getrandbits(256).to_bytes(32, "big") for _ in range(3)],
+        "B": [rng.getrandbits(256).to_bytes(32, "big") for _ in range(3)],
+    }
+    # Addresses interleave types and deliberately collide set indices.
+    fill_pattern = [(0x0, "A"), (0x2, "B"), (0x4, "A"), (0x5, "B"),
+                    (0x6, "A"), (0x12, "B"), (0x22, "A"), (0x15, "B")]
+
+    set_cache = UncompressedCache(CacheGeometry(2048, ways=2))  # 16 sets
+    log_cache = MorcCache(2048, config=MorcConfig(
+        n_active_logs=2, lmt_overprovision=8))
+
+    print("fill order:", "  ".join(f"x{line:X}({kind})"
+                                   for line, kind in fill_pattern))
+    print()
+    for line, kind in fill_pattern:
+        data = rng.choice(pools[kind]) + rng.choice(pools[kind])
+        set_cache.fill(line * 64, data)
+        log_cache.fill(line * 64, data)
+
+    print("set-based cache (address bits pick the set):")
+    for index, cache_set in enumerate(set_cache._sets):
+        if cache_set.lines:
+            members = " ".join(f"x{line:X}" for line in cache_set.lines)
+            print(f"  set {index:2d}: {members}")
+
+    print("\nlog-based cache (arrival order, content-aware log choice):")
+    for log in log_cache.logs:
+        if log.entries:
+            members = " ".join(f"x{e.line_address:X}" for e in log.entries)
+            bits = log.data_bits_used
+            print(f"  log {log.index}: {members}   ({bits} data bits)")
+
+    resident_set = sum(len(s.lines) for s in set_cache._sets)
+    resident_log = sum(log.valid_count for log in log_cache.logs)
+    print(f"\nSame lines, same contents.  The set cache scattered them by "
+          f"address bits\n(and index collisions already evicted "
+          f"{len(fill_pattern) - resident_set} of {len(fill_pattern)}); "
+          f"the log cache kept all {resident_log},\ngrouped each content "
+          f"type into its own log, and compressed repeat blocks\nto "
+          f"single m256 symbols — that is the paper's Figure 1.")
+
+
+if __name__ == "__main__":
+    main()

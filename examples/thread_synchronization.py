@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Thread synchronisation and compression (paper §5.2).
+
+The paper observes that slight asynchronism between replicated threads
+(S-sets) stresses the compression engines, and that instruction-level
+synchronisation techniques like Execution Drafting "can completely
+eliminate threads asynchronism and greatly increase compression
+performance".  This example measures that headroom: the same 16-copy
+workload with drifting vs. perfectly synchronised access streams.
+
+Usage::
+
+    python examples/thread_synchronization.py [S-set]
+"""
+
+import sys
+
+from repro import run_multi_program
+
+
+def main() -> None:
+    mix = sys.argv[1] if len(sys.argv) > 1 else "S2"
+    budget = 30_000
+
+    print(f"workload {mix}: 16 copies, shared 2MB MORC LLC\n")
+    drifted = run_multi_program(mix, "MORC", n_instructions_each=budget,
+                                synchronized=False)
+    synced = run_multi_program(mix, "MORC", n_instructions_each=budget,
+                               synchronized=True)
+    print(f"  drifting copies (default) : "
+          f"ratio {drifted.compression_ratio:5.2f}x,  "
+          f"{drifted.total_offchip_bytes / 1024:.0f}KB off-chip")
+    print(f"  synchronised copies       : "
+          f"ratio {synced.compression_ratio:5.2f}x,  "
+          f"{synced.total_offchip_bytes / 1024:.0f}KB off-chip")
+    gain = 0.0
+    if drifted.compression_ratio:
+        gain = (synced.compression_ratio / drifted.compression_ratio
+                - 1) * 100
+    print(f"\nSynchronisation changes compression by {gain:+.0f}% — the "
+          f"headroom the paper\nattributes to techniques like Execution "
+          f"Drafting (its reference [40]).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Cache models: private L1, uncompressed LLC, and the three compressed
+set-based baselines the paper compares against (Adaptive, Decoupled, SC2).
+
+The MORC log-based cache lives in :mod:`repro.morc`.
+"""
+
+from repro.cache.base import FillResult, LLCInterface, ReadResult, Writeback
+from repro.cache.l1 import L1Cache
+from repro.cache.set_assoc import (
+    AdaptiveCache,
+    DecoupledCache,
+    Sc2Cache,
+    SetAssociativeCache,
+    UncompressedCache,
+)
+
+__all__ = [
+    "AdaptiveCache",
+    "DecoupledCache",
+    "FillResult",
+    "L1Cache",
+    "LLCInterface",
+    "ReadResult",
+    "Sc2Cache",
+    "SetAssociativeCache",
+    "UncompressedCache",
+    "Writeback",
+]

@@ -1,0 +1,81 @@
+"""Shared LLC interface used by the system simulator.
+
+Every last-level cache model (uncompressed, Adaptive, Decoupled, SC2, and
+MORC) implements :class:`LLCInterface`.  The system simulator drives them
+identically: ``read`` on an L1 miss, ``fill`` after a memory fetch, and
+``writeback`` when the L1 evicts a dirty line.  Latency is reported by the
+cache itself because decompression cost is scheme-specific (fixed +4
+cycles for the intra-line baselines, variable for MORC).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.stats import StatGroup
+
+Writeback = Tuple[int, bytes]
+"""A dirty line leaving the LLC for memory: (address, data)."""
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of an LLC lookup."""
+
+    hit: bool
+    latency_cycles: float
+    data: Optional[bytes] = None
+    aliased_miss: bool = False
+
+
+@dataclass
+class FillResult:
+    """Outcome of inserting (fill or write-back) a line into the LLC."""
+
+    writebacks: List[Writeback] = field(default_factory=list)
+
+
+class LLCInterface(abc.ABC):
+    """The contract every last-level cache model satisfies."""
+
+    #: scheme name used in reports ("Uncompressed", "MORC", ...)
+    name: str = "abstract"
+    stats: StatGroup
+
+    @abc.abstractmethod
+    def read(self, address: int) -> ReadResult:
+        """Look up ``address``; never allocates."""
+
+    @abc.abstractmethod
+    def fill(self, address: int, data: bytes) -> FillResult:
+        """Insert a clean line fetched from memory after a read miss."""
+
+    @abc.abstractmethod
+    def writeback(self, address: int, data: bytes) -> FillResult:
+        """Accept a dirty line evicted by a private L1."""
+
+    @abc.abstractmethod
+    def contains(self, address: int) -> bool:
+        """True if ``address`` is resident and valid (test/debug hook)."""
+
+    @abc.abstractmethod
+    def compression_ratio(self) -> float:
+        """Valid resident lines over uncompressed line capacity (paper §4)."""
+
+    def sample_ratio(self) -> None:
+        """Record the current compression ratio into the stats stream.
+
+        The paper samples compression ratio every 10M instructions; the
+        system simulator calls this periodically and reports the mean.
+        """
+        self.stats.add("ratio_sum", self.compression_ratio())
+        self.stats.add("ratio_samples")
+
+    def mean_compression_ratio(self) -> float:
+        """Average of the sampled ratios (falls back to the current one)."""
+        samples = self.stats.get("ratio_samples")
+        if samples == 0:
+            return self.compression_ratio()
+        return self.stats.get("ratio_sum") / samples

@@ -1,0 +1,195 @@
+"""Skewed Compressed Cache (Sardashti, Seznec & Wood, MICRO 2014).
+
+The paper's related work (§6) describes SCC as performing like Decoupled
+while being easier to implement, so it completes the prior-work roster.
+The model captures SCC's two mechanisms:
+
+- **Superblock tags**: one tag covers four adjacent lines, so tracking
+  compressed lines costs no extra tag storage.
+- **Skewed, size-class placement**: every way indexes with a different
+  hash, and a 64-byte physical entry holds 1, 2, 4 or 8 compressed lines
+  of one superblock depending on the *size class* its compressed size
+  falls into (>=32B, >=16B, >=8B, <8B).  A line's class plus the skewing
+  hash decides which entry of each way could hold it; conflicts evict a
+  whole entry (all co-resident lines).
+
+Like the other baselines it uses C-Pack and pays the fixed +4-cycle
+decompression latency on loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.base import FillResult, LLCInterface, ReadResult
+from repro.common.config import CacheGeometry
+from repro.common.stats import StatGroup
+from repro.common.words import check_line
+from repro.compression.base import IntraLineCompressor
+from repro.compression.cpack import CPackCompressor
+
+SUPERBLOCK_LINES = 4
+SIZE_CLASSES = (1, 2, 4, 8)  # compressed lines per 64B entry
+
+_HASH_MULTIPLIERS = (0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F,
+                     0x165667B1, 0xD3A2646C, 0xFD7046C5, 0xB55A4F09)
+
+
+def size_class(compressed_bytes: int) -> int:
+    """Lines-per-entry class for a compressed size (1, 2, 4 or 8)."""
+    for blocks in reversed(SIZE_CLASSES):  # prefer the densest class
+        if compressed_bytes * blocks <= 64:
+            return blocks
+    return 1
+
+
+@dataclass
+class _Entry:
+    """One 64B physical entry holding compressed lines of a superblock."""
+
+    superblock: int = -1
+    blocks: int = 1  # size class
+    lines: Dict[int, Tuple[bytes, bool]] = field(default_factory=dict)
+    last_use: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.superblock >= 0 and bool(self.lines)
+
+    def clear(self) -> None:
+        self.superblock = -1
+        self.lines.clear()
+
+
+class SkewedCompressedCache(LLCInterface):
+    """Skewed-associative compressed LLC."""
+
+    name = "Skewed"
+
+    def __init__(self, geometry: CacheGeometry,
+                 compressor: Optional[IntraLineCompressor] = None,
+                 base_latency_cycles: int = 14,
+                 decompression_cycles: int = 4) -> None:
+        self.geometry = geometry
+        self.compressor = compressor or CPackCompressor()
+        self.base_latency_cycles = base_latency_cycles
+        self.decompression_cycles = decompression_cycles
+        self.n_ways = geometry.ways
+        self.entries_per_way = geometry.n_lines // geometry.ways
+        self._ways: List[List[_Entry]] = [
+            [_Entry() for _ in range(self.entries_per_way)]
+            for _ in range(self.n_ways)]
+        self._clock = 0
+        self.stats = StatGroup(self.name)
+
+    # -- indexing ---------------------------------------------------------
+
+    def _index(self, way: int, superblock: int, blocks: int) -> int:
+        """Skewing hash: distinct per way, keyed by superblock + class."""
+        key = (superblock * _HASH_MULTIPLIERS[way % len(_HASH_MULTIPLIERS)]
+               + blocks * 0x61C88647) & 0xFFFFFFFF
+        return key % self.entries_per_way
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _locate(self, line_address: int) -> Optional[Tuple[_Entry, int]]:
+        superblock = line_address // SUPERBLOCK_LINES
+        for blocks in SIZE_CLASSES:
+            for way in range(self.n_ways):
+                entry = self._ways[way][self._index(way, superblock,
+                                                    blocks)]
+                if (entry.valid and entry.superblock == superblock
+                        and entry.blocks == blocks
+                        and line_address in entry.lines):
+                    return entry, way
+        return None
+
+    # -- LLCInterface -------------------------------------------------------
+
+    def read(self, address: int) -> ReadResult:
+        line_address = address // self.geometry.line_size
+        found = self._locate(line_address)
+        if found is None:
+            self.stats.add("read_misses")
+            return ReadResult(False, self.base_latency_cycles)
+        entry, _ = found
+        entry.last_use = self._tick()
+        self.stats.add("read_hits")
+        self.stats.add("decompressions")
+        self.stats.add("decompressed_lines")
+        data, _dirty = entry.lines[line_address]
+        return ReadResult(True, self.base_latency_cycles
+                          + self.decompression_cycles, data=data)
+
+    def fill(self, address: int, data: bytes) -> FillResult:
+        self.stats.add("fills")
+        return self._insert(address, check_line(data), dirty=False)
+
+    def writeback(self, address: int, data: bytes) -> FillResult:
+        self.stats.add("writebacks_in")
+        return self._insert(address, check_line(data), dirty=True)
+
+    def contains(self, address: int) -> bool:
+        return self._locate(address // self.geometry.line_size) is not None
+
+    def compression_ratio(self) -> float:
+        resident = sum(len(entry.lines) for way in self._ways
+                       for entry in way)
+        return resident / self.geometry.n_lines
+
+    # -- insertion ------------------------------------------------------------
+
+    def _insert(self, address: int, data: bytes, dirty: bool) -> FillResult:
+        result = FillResult()
+        line_address = address // self.geometry.line_size
+        existing = self._locate(line_address)
+        if existing is not None:
+            # In-place update only if the new size still fits the class;
+            # otherwise the line migrates (old copy invalidated).
+            entry, _ = existing
+            was_dirty = entry.lines[line_address][1]
+            dirty = dirty or was_dirty
+            del entry.lines[line_address]
+        size = self.compressor.compress(data)
+        self.stats.add("compressions")
+        blocks = size_class(size.size_bytes)
+        superblock = line_address // SUPERBLOCK_LINES
+        target = self._find_target(superblock, blocks, result)
+        target.superblock = superblock
+        target.blocks = blocks
+        target.lines[line_address] = (data, dirty)
+        target.last_use = self._tick()
+        return result
+
+    def _find_target(self, superblock: int, blocks: int,
+                     result: FillResult) -> _Entry:
+        candidates = [self._ways[way][self._index(way, superblock, blocks)]
+                      for way in range(self.n_ways)]
+        # 1. an entry already holding this (superblock, class) with room
+        for entry in candidates:
+            if (entry.valid and entry.superblock == superblock
+                    and entry.blocks == blocks
+                    and len(entry.lines) < blocks):
+                return entry
+        # 2. any empty entry
+        for entry in candidates:
+            if not entry.valid:
+                return entry
+        # 3. evict the least-recently-used candidate entry wholesale
+        victim = min(candidates, key=lambda e: e.last_use)
+        self._evict(victim, result)
+        return victim
+
+    def _evict(self, entry: _Entry, result: FillResult) -> None:
+        for line_address, (data, dirty) in entry.lines.items():
+            self.stats.add("evictions")
+            if dirty:
+                self.stats.add("dirty_evictions")
+                self.stats.add("decompressions")
+                self.stats.add("decompressed_lines")
+                result.writebacks.append(
+                    (line_address * self.geometry.line_size, data))
+        entry.clear()

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command> [options]``.
+
+Commands mirror the paper's evaluation:
+
+- ``run`` — one (benchmark, scheme) simulation with a summary line
+- ``figure2`` / ``figure6`` / ... / ``figure15`` / ``table1`` /
+  ``table4`` / ``ablations`` — regenerate a table or figure
+- ``list`` — available benchmarks, schemes and experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    microbench,
+    variance,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    table1,
+    table4,
+)
+from repro.sim.system import ALL_SCHEMES, run_single_program
+from repro.sim.throughput import coarse_grain_throughput
+from repro.workloads.mixes import ALL_MULTI_WORKLOADS
+from repro.workloads.spec import ALL_SINGLE_PROGRAMS
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table4": table4,
+    "figure2": figure2,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+    "ablations": ablations,
+    "extensions": extensions,
+    "microbench": microbench,
+    "variance": variance,
+}
+
+RUNNABLE_SCHEMES = ALL_SCHEMES + ("Skewed", "MORCMerged", "MORC-CPack",
+                                  "MORC-LZ", "Uncompressed8x")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of MORC (MICRO 2015)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate one benchmark under one scheme")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("scheme", choices=RUNNABLE_SCHEMES)
+    run_parser.add_argument("-n", "--instructions", type=int,
+                            default=120_000)
+    run_parser.add_argument("--bandwidth-mb", type=float, default=100.0,
+                            help="per-thread bandwidth cap (MB/s)")
+    run_parser.add_argument("--llc-kb", type=int, default=128,
+                            help="per-core LLC capacity (KB)")
+
+    for name, module in EXPERIMENTS.items():
+        experiment_parser = subparsers.add_parser(
+            name, help=(module.__doc__ or "").strip().splitlines()[0])
+        experiment_parser.add_argument("-b", "--benchmarks", nargs="*",
+                                       default=None)
+        experiment_parser.add_argument("-n", "--instructions", type=int,
+                                       default=None)
+
+    report_parser = subparsers.add_parser(
+        "report", help="run the full evaluation and write a markdown "
+                       "report")
+    report_parser.add_argument("-o", "--output", default="report.md")
+    report_parser.add_argument("-b", "--benchmarks", nargs="*",
+                               default=None)
+    report_parser.add_argument("-n", "--instructions", type=int,
+                               default=None)
+    report_parser.add_argument("--fast", action="store_true",
+                               help="skip the slow multi-program and "
+                                    "sweep sections")
+
+    anatomy_parser = subparsers.add_parser(
+        "anatomy", help="decompose MORC's compression ratio on a benchmark")
+    anatomy_parser.add_argument("benchmark")
+    anatomy_parser.add_argument("-n", "--instructions", type=int,
+                                default=120_000)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="export a synthetic benchmark trace to a file")
+    trace_parser.add_argument("benchmark")
+    trace_parser.add_argument("path",
+                              help="output file (.trc or .trc.gz)")
+    trace_parser.add_argument("-n", "--instructions", type=int,
+                              default=120_000)
+
+    subparsers.add_parser("list", help="list benchmarks and schemes")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.common.config import SystemConfig
+    config = SystemConfig().with_llc_size(args.llc_kb * 1024)
+    config = config.with_bandwidth(args.bandwidth_mb * 1e6)
+    result = run_single_program(args.benchmark, args.scheme, config=config,
+                                n_instructions=args.instructions)
+    throughput = coarse_grain_throughput(result.metrics)
+    print(f"{args.benchmark} / {args.scheme}: "
+          f"ratio={result.compression_ratio:.2f}x  "
+          f"bw={result.bandwidth_gb:.2f}GB/1e9  "
+          f"ipc={result.ipc:.4f}  throughput={throughput:.4f}  "
+          f"energy={result.energy.total_j * 1e3:.3f}mJ")
+    return 0
+
+
+def _command_experiment(name: str, args: argparse.Namespace) -> int:
+    module = EXPERIMENTS[name]
+    kwargs = {}
+    if name in ("table1", "table4"):
+        print(module.render(module.run()))
+        return 0
+    if getattr(args, "benchmarks", None):
+        key = {"figure8": "mixes", "microbench": "micros"}.get(
+            name, "benchmarks")
+        kwargs[key] = args.benchmarks
+    if getattr(args, "instructions", None):
+        key = ("n_instructions_each" if name == "figure8"
+               else "n_instructions")
+        kwargs[key] = args.instructions
+    print(module.render(module.run(**kwargs)))
+    return 0
+
+
+def _command_list() -> int:
+    print("schemes:")
+    for scheme in RUNNABLE_SCHEMES:
+        print(f"  {scheme}")
+    print("\nexperiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("\nmulti-program mixes:")
+    print("  " + " ".join(ALL_MULTI_WORKLOADS))
+    print("\nbenchmarks:")
+    for name in ALL_SINGLE_PROGRAMS:
+        print(f"  {name}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.io import write_trace
+    from repro.workloads.spec import make_trace
+    trace = make_trace(args.benchmark, args.instructions)
+    count = write_trace(args.path, trace)
+    print(f"wrote {count} records ({args.instructions:,} instructions) "
+          f"to {args.path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "anatomy":
+        from repro.morc.anatomy import analyze_benchmark, render
+        print(render(args.benchmark, analyze_benchmark(
+            args.benchmark, n_instructions=args.instructions)))
+        return 0
+    if args.command == "report":
+        from repro.experiments.full_report import generate
+        text = generate(benchmarks=args.benchmarks,
+                        n_instructions=args.instructions,
+                        include_slow=not args.fast)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+        return 0
+    return _command_experiment(args.command, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Shared low-level infrastructure: bit I/O, word views, config, statistics."""
+
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.config import (
+    CacheGeometry,
+    EnergyParams,
+    MemoryConfig,
+    MorcConfig,
+    SystemConfig,
+)
+from repro.common.errors import (
+    CacheError,
+    CompressionError,
+    ConfigError,
+    ReproError,
+)
+from repro.common.stats import StatGroup
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "CacheError",
+    "CacheGeometry",
+    "CompressionError",
+    "ConfigError",
+    "EnergyParams",
+    "MemoryConfig",
+    "MorcConfig",
+    "ReproError",
+    "StatGroup",
+    "SystemConfig",
+]

@@ -1,0 +1,131 @@
+"""Bit-granular stream writer and reader.
+
+Compression algorithms in this package (LBE, C-Pack, FPC, Huffman, tag
+base-delta) all emit variable-length codes.  :class:`BitWriter` and
+:class:`BitReader` provide an exact, testable bit-stream so compressed sizes
+are measured bit-accurately rather than estimated.
+
+Bits are stored most-significant-first within the stream, which matches how
+the paper's prefix codes (Table 2 and Table 3) are written out.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CompressionError
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first into a growable buffer."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._length
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits holding ``value`` (MSB first).
+
+        ``value`` must fit in ``width`` bits and be non-negative.
+        """
+        if width < 0:
+            raise CompressionError(f"negative bit width: {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise CompressionError(
+                f"value {value} does not fit in {width} bits"
+            )
+        self._value = (self._value << width) | value
+        self._length += width
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self.write(1 if bit else 0, 1)
+
+    def extend(self, other: "BitWriter") -> None:
+        """Append all bits from another writer."""
+        self._value = (self._value << other._length) | other._value
+        self._length += other._length
+
+    def getvalue(self) -> tuple[int, int]:
+        """Return ``(packed_int, bit_length)`` for the whole stream."""
+        return self._value, self._length
+
+    def to_bytes(self) -> bytes:
+        """Pack the stream into bytes, padding the final byte with zeros."""
+        if self._length == 0:
+            return b""
+        pad = (-self._length) % 8
+        return (self._value << pad).to_bytes((self._length + pad) // 8, "big")
+
+
+class BitReader:
+    """Reads bits most-significant-first from a packed stream."""
+
+    def __init__(self, value: int, bit_length: int) -> None:
+        if bit_length < 0:
+            raise CompressionError(f"negative bit length: {bit_length}")
+        self._value = value
+        self._length = bit_length
+        self._pos = 0
+
+    @classmethod
+    def from_writer(cls, writer: BitWriter) -> "BitReader":
+        """Create a reader over everything a writer holds."""
+        value, length = writer.getvalue()
+        return cls(value, length)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, bit_length: int | None = None) -> "BitReader":
+        """Create a reader from packed bytes (optionally trimmed)."""
+        total = len(data) * 8
+        if bit_length is None:
+            bit_length = total
+        if bit_length > total:
+            raise CompressionError("bit_length exceeds available data")
+        value = int.from_bytes(data, "big") >> (total - bit_length)
+        return cls(value, bit_length)
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._length - self._pos
+
+    @property
+    def position(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos
+
+    def read(self, width: int) -> int:
+        """Consume and return ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise CompressionError(f"negative bit width: {width}")
+        if width > self.remaining:
+            raise CompressionError(
+                f"bitstream underflow: wanted {width}, have {self.remaining}"
+            )
+        shift = self._length - self._pos - width
+        mask = (1 << width) - 1
+        self._pos += width
+        return (self._value >> shift) & mask
+
+    def read_bit(self) -> int:
+        """Consume and return one bit."""
+        return self.read(1)
+
+    def peek(self, width: int) -> int:
+        """Return the next ``width`` bits without consuming them.
+
+        If fewer than ``width`` bits remain, the available bits are returned
+        left-aligned (zero padded on the right), which is convenient for
+        prefix-code tables.
+        """
+        avail = min(width, self.remaining)
+        shift = self._length - self._pos - avail
+        bits = (self._value >> shift) & ((1 << avail) - 1)
+        return bits << (width - avail)

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class CompressionError(ReproError):
+    """A compression or decompression stream was malformed."""
+
+
+class CacheError(ReproError):
+    """A cache operation violated an internal invariant."""
+
+
+class TraceError(ReproError):
+    """A workload trace was malformed or exhausted unexpectedly."""

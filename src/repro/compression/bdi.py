@@ -1,0 +1,143 @@
+"""Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012).
+
+The paper builds its *tag* compression on base-delta coding (§3.2.4,
+citing BDI); this module implements the full BDI cache-line codec as an
+additional reference point for the codec ablations.
+
+BDI encodes a 64-byte line as one base value plus per-element deltas
+narrow enough to store in few bytes.  The encoder tries, in order of
+compressed size, every (base size, delta size) pair from the original
+paper, plus the two special cases:
+
+====================  ==========================  ===========
+encoding              layout                      payload
+====================  ==========================  ===========
+zeros                 all bytes zero              1 B
+repeated              one 8B value repeated       8 B
+base8-delta1          8B base + 8 x 1B deltas     16 B
+base8-delta2          8B base + 8 x 2B deltas     24 B
+base8-delta4          8B base + 8 x 4B deltas     40 B
+base4-delta1          4B base + 16 x 1B deltas    20 B
+base4-delta2          4B base + 16 x 2B deltas    36 B
+base2-delta1          2B base + 32 x 1B deltas    34 B
+raw                   uncompressed                64 B
+====================  ==========================  ===========
+
+As in the original design, elements equal to zero use a zero-mask and an
+implicit second base of 0, so lines mixing pointers with zeros still
+compress.  A 4-bit encoding tag is charged on every line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import CompressionError
+from repro.common.words import LINE_SIZE, check_line
+from repro.compression.base import CompressedSize, IntraLineCompressor
+
+ENCODING_BITS = 4
+
+#: (name, base bytes, delta bytes)
+_BDI_MODES: Tuple[Tuple[str, int, int], ...] = (
+    ("base8-delta1", 8, 1),
+    ("base4-delta1", 4, 1),
+    ("base8-delta2", 8, 2),
+    ("base2-delta1", 2, 1),
+    ("base4-delta2", 4, 2),
+    ("base8-delta4", 8, 4),
+)
+
+
+def _elements(line: bytes, size: int) -> List[int]:
+    return [int.from_bytes(line[i:i + size], "big")
+            for i in range(0, LINE_SIZE, size)]
+
+
+def _fits_signed(value: int, n_bytes: int) -> bool:
+    bound = 1 << (8 * n_bytes - 1)
+    return -bound <= value < bound
+
+
+class BdiCompressor(IntraLineCompressor):
+    """The BDI codec with dual-base (explicit + implicit zero) support."""
+
+    name = "bdi"
+
+    def compress_tokens(self, line: bytes):
+        """Return ``(mode, payload)`` where payload reconstructs the line."""
+        line = check_line(line)
+        if not any(line):
+            return ("zeros", None)
+        first8 = line[:8]
+        if first8 * (LINE_SIZE // 8) == line:
+            return ("repeated", int.from_bytes(first8, "big"))
+        best: Optional[Tuple[int, Tuple]] = None
+        for mode, base_bytes, delta_bytes in _BDI_MODES:
+            encoded = self._try_mode(line, base_bytes, delta_bytes)
+            if encoded is None:
+                continue
+            size = self._mode_bytes(base_bytes, delta_bytes)
+            if best is None or size < best[0]:
+                best = (size, (mode,) + encoded)
+        if best is not None:
+            mode = best[1][0]
+            return (mode, best[1][1:])
+        return ("raw", line)
+
+    @staticmethod
+    def _mode_bytes(base_bytes: int, delta_bytes: int) -> int:
+        n_elements = LINE_SIZE // base_bytes
+        # base + deltas + zero-mask (1 bit per element, rounded to bytes)
+        return base_bytes + n_elements * delta_bytes + (n_elements + 7) // 8
+
+    def _try_mode(self, line: bytes, base_bytes: int,
+                  delta_bytes: int) -> Optional[Tuple]:
+        elements = _elements(line, base_bytes)
+        base = next((e for e in elements if e != 0), None)
+        if base is None:
+            return None  # all zeros handled earlier
+        deltas = []
+        mask = []
+        for element in elements:
+            if element == 0:
+                # implicit zero base
+                mask.append(True)
+                deltas.append(0)
+                continue
+            delta = element - base
+            if not _fits_signed(delta, delta_bytes):
+                return None
+            mask.append(False)
+            deltas.append(delta)
+        return (base, base_bytes, delta_bytes, tuple(deltas), tuple(mask))
+
+    def decompress_tokens(self, tokens) -> bytes:
+        mode, payload = tokens
+        if mode == "zeros":
+            return bytes(LINE_SIZE)
+        if mode == "repeated":
+            return payload.to_bytes(8, "big") * (LINE_SIZE // 8)
+        if mode == "raw":
+            return payload
+        base, base_bytes, _delta_bytes, deltas, mask = payload
+        pieces = []
+        for delta, is_zero in zip(deltas, mask):
+            value = 0 if is_zero else base + delta
+            if value < 0 or value >= (1 << (8 * base_bytes)):
+                raise CompressionError("BDI value out of element range")
+            pieces.append(value.to_bytes(base_bytes, "big"))
+        return b"".join(pieces)
+
+    def compress(self, line: bytes) -> CompressedSize:
+        mode, payload = self.compress_tokens(line)
+        if mode == "zeros":
+            size_bytes = 1
+        elif mode == "repeated":
+            size_bytes = 8
+        elif mode == "raw":
+            size_bytes = LINE_SIZE
+        else:
+            _base, base_bytes, delta_bytes, _deltas, _mask = payload
+            size_bytes = self._mode_bytes(base_bytes, delta_bytes)
+        return CompressedSize(ENCODING_BITS + size_bytes * 8)

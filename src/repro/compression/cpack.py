@@ -1,0 +1,153 @@
+"""C-Pack cache compression (Chen et al., TVLSI 2010).
+
+C-Pack is the intra-line algorithm used by the Adaptive and Decoupled
+baselines in the paper's evaluation (§4: "both Adaptive and Decoupled were
+evaluated with C-Pack").  It compresses a 64-byte line as sixteen 32-bit
+words against a small FIFO dictionary that is reset for every line.
+
+Pattern codes (from the C-Pack paper)::
+
+    zzzz  (00)            all-zero word                    2 bits
+    xxxx  (01)   + 32b    uncompressed word                34 bits
+    mmmm  (10)   + 4b     full dictionary match            6 bits
+    mmxx  (1100) + 4b+16b match on upper half              24 bits
+    zzzx  (1101) + 8b     three zero bytes + one literal   12 bits
+    mmmx  (1110) + 4b+8b  match on upper three bytes       16 bits
+
+Words that do not match in full (``xxxx``, ``mmxx``, ``mmmx``) are pushed
+into the dictionary.  The dictionary holds 16 entries (64 bytes) and is
+FIFO-replaced; the paper notes the fixed 4-bit pointer per 32-bit word
+caps C-Pack's ratio at 8x.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import CompressionError
+from repro.common.words import check_line, from_words32, words32
+from repro.compression.base import CompressedSize, IntraLineCompressor
+
+DICTIONARY_ENTRIES = 16
+POINTER_BITS = 4
+
+#: token kind -> encoded size in bits
+_TOKEN_BITS = {
+    "zzzz": 2,
+    "xxxx": 2 + 32,
+    "mmmm": 2 + POINTER_BITS,
+    "mmxx": 4 + POINTER_BITS + 16,
+    "zzzx": 4 + 8,
+    "mmmx": 4 + POINTER_BITS + 8,
+}
+
+Token = Tuple  # (kind, *payload)
+
+
+class _FifoDictionary:
+    """16-entry FIFO dictionary of 32-bit words."""
+
+    def __init__(self) -> None:
+        self._entries: List[int] = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[int]:
+        return list(self._entries)
+
+    def find_full(self, word: int) -> int:
+        """Index of a full 32-bit match, or -1."""
+        try:
+            return self._entries.index(word)
+        except ValueError:
+            return -1
+
+    def find_partial(self, word: int, matched_bytes: int) -> int:
+        """Index of an entry matching the upper ``matched_bytes``, or -1."""
+        shift = (4 - matched_bytes) * 8
+        target = word >> shift
+        for index, entry in enumerate(self._entries):
+            if entry >> shift == target:
+                return index
+        return -1
+
+    def push(self, word: int) -> None:
+        """FIFO insert (overwrites the oldest entry once full)."""
+        if len(self._entries) < DICTIONARY_ENTRIES:
+            self._entries.append(word)
+        else:
+            self._entries[self._next] = word
+            self._next = (self._next + 1) % DICTIONARY_ENTRIES
+
+    def at(self, index: int) -> int:
+        return self._entries[index]
+
+
+class CPackCompressor(IntraLineCompressor):
+    """Per-line C-Pack codec."""
+
+    name = "cpack"
+
+    def compress_tokens(self, line: bytes) -> List[Token]:
+        """Encode ``line`` into C-Pack tokens (dictionary reset per line)."""
+        line = check_line(line)
+        dictionary = _FifoDictionary()
+        tokens: List[Token] = []
+        for word in words32(line):
+            tokens.append(self._encode_word(word, dictionary))
+        return tokens
+
+    @staticmethod
+    def _encode_word(word: int, dictionary: _FifoDictionary) -> Token:
+        if word == 0:
+            return ("zzzz",)
+        if word < (1 << 8):
+            # Three zero bytes plus one literal byte.
+            return ("zzzx", word)
+        index = dictionary.find_full(word)
+        if index >= 0:
+            return ("mmmm", index)
+        index = dictionary.find_partial(word, 3)
+        if index >= 0:
+            dictionary.push(word)
+            return ("mmmx", index, word & 0xFF)
+        index = dictionary.find_partial(word, 2)
+        if index >= 0:
+            dictionary.push(word)
+            return ("mmxx", index, word & 0xFFFF)
+        dictionary.push(word)
+        return ("xxxx", word)
+
+    def decompress_tokens(self, tokens: List[Token]) -> bytes:
+        """Rebuild the 64-byte line from a token stream."""
+        dictionary = _FifoDictionary()
+        words: List[int] = []
+        for token in tokens:
+            kind = token[0]
+            if kind == "zzzz":
+                words.append(0)
+            elif kind == "zzzx":
+                words.append(token[1])
+            elif kind == "xxxx":
+                words.append(token[1])
+                dictionary.push(token[1])
+            elif kind == "mmmm":
+                words.append(dictionary.at(token[1]))
+            elif kind == "mmmx":
+                word = (dictionary.at(token[1]) & ~0xFF) | token[2]
+                words.append(word)
+                dictionary.push(word)
+            elif kind == "mmxx":
+                word = (dictionary.at(token[1]) & ~0xFFFF) | token[2]
+                words.append(word)
+                dictionary.push(word)
+            else:
+                raise CompressionError(f"unknown C-Pack token {kind!r}")
+        return from_words32(words)
+
+    def compress(self, line: bytes) -> CompressedSize:
+        """Exact encoded size of ``line`` in bits."""
+        bits = sum(_TOKEN_BITS[token[0]] for token in self.compress_tokens(line))
+        return CompressedSize(bits)

@@ -1,0 +1,152 @@
+"""Frequent Pattern Compression (Alameldeen & Wood, UW TR-1500).
+
+FPC is the algorithm originally used by the Adaptive compressed cache; the
+paper notes it "performs similarly to C-Pack" and evaluates the baselines
+with C-Pack, but we include FPC both for completeness and for cross-checks
+in the test suite.
+
+Each 32-bit word gets a 3-bit prefix:
+
+====  =======================================  ============
+code  pattern                                  payload bits
+====  =======================================  ============
+000   zero-run (1-8 consecutive zero words)    3
+001   4-bit sign-extended                      4
+010   8-bit sign-extended                      8
+011   16-bit sign-extended                     16
+100   16-bit padded with zeros (upper half)    16
+101   two half-words, each byte sign-extended  16
+110   word of repeated bytes                   8
+111   uncompressed                             32
+====  =======================================  ============
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import CompressionError
+from repro.common.words import check_line, from_words32, words32
+from repro.compression.base import CompressedSize, IntraLineCompressor
+
+PREFIX_BITS = 3
+MAX_ZERO_RUN = 8
+
+Token = Tuple
+
+_PAYLOAD_BITS = {
+    "zero_run": 3,
+    "sign4": 4,
+    "sign8": 8,
+    "sign16": 16,
+    "pad16": 16,
+    "halfword_bytes": 16,
+    "repeat8": 8,
+    "raw": 32,
+}
+
+
+def _sign_extends(word: int, bits: int) -> bool:
+    """True if the 32-bit word is the sign extension of its low ``bits``."""
+    signed = word - (1 << 32) if word & (1 << 31) else word
+    low = 1 << (bits - 1)
+    return -low <= signed < low
+
+
+def _truncate(word: int, bits: int) -> int:
+    return word & ((1 << bits) - 1)
+
+
+def _extend(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value & 0xFFFFFFFF
+
+
+class FpcCompressor(IntraLineCompressor):
+    """Per-line FPC codec with zero-run folding."""
+
+    name = "fpc"
+
+    def compress_tokens(self, line: bytes) -> List[Token]:
+        line = check_line(line)
+        tokens: List[Token] = []
+        run = 0
+        for word in words32(line):
+            if word == 0 and run < MAX_ZERO_RUN:
+                run += 1
+                continue
+            if run:
+                tokens.append(("zero_run", run))
+                run = 0
+            if word == 0:
+                run = 1
+                continue
+            tokens.append(self._encode_word(word))
+        if run:
+            tokens.append(("zero_run", run))
+        return tokens
+
+    @staticmethod
+    def _encode_word(word: int) -> Token:
+        if _sign_extends(word, 4):
+            return ("sign4", _truncate(word, 4))
+        if _sign_extends(word, 8):
+            return ("sign8", _truncate(word, 8))
+        if _sign_extends(word, 16):
+            return ("sign16", _truncate(word, 16))
+        if word & 0xFFFF == 0:
+            return ("pad16", word >> 16)
+        high, low = word >> 16, word & 0xFFFF
+        if (_sign_extends_16(high, 8) and _sign_extends_16(low, 8)):
+            return ("halfword_bytes", ((high & 0xFF) << 8) | (low & 0xFF))
+        byte = word & 0xFF
+        if word == byte * 0x01010101:
+            return ("repeat8", byte)
+        return ("raw", word)
+
+    def decompress_tokens(self, tokens: List[Token]) -> bytes:
+        words: List[int] = []
+        for token in tokens:
+            kind = token[0]
+            if kind == "zero_run":
+                words.extend([0] * token[1])
+            elif kind == "sign4":
+                words.append(_extend(token[1], 4))
+            elif kind == "sign8":
+                words.append(_extend(token[1], 8))
+            elif kind == "sign16":
+                words.append(_extend(token[1], 16))
+            elif kind == "pad16":
+                words.append(token[1] << 16)
+            elif kind == "halfword_bytes":
+                high = _extend_16(token[1] >> 8, 8)
+                low = _extend_16(token[1] & 0xFF, 8)
+                words.append((high << 16) | low)
+            elif kind == "repeat8":
+                words.append(token[1] * 0x01010101)
+            elif kind == "raw":
+                words.append(token[1])
+            else:
+                raise CompressionError(f"unknown FPC token {kind!r}")
+        if len(words) != 16:
+            raise CompressionError(f"FPC stream produced {len(words)} words")
+        return from_words32(words)
+
+    def compress(self, line: bytes) -> CompressedSize:
+        bits = sum(PREFIX_BITS + _PAYLOAD_BITS[token[0]]
+                   for token in self.compress_tokens(line))
+        return CompressedSize(bits)
+
+
+def _sign_extends_16(half: int, bits: int) -> bool:
+    """True if a 16-bit halfword sign-extends from its low ``bits``."""
+    signed = half - (1 << 16) if half & (1 << 15) else half
+    low = 1 << (bits - 1)
+    return -low <= signed < low
+
+
+def _extend_16(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value & 0xFFFF

@@ -1,0 +1,197 @@
+"""Canonical Huffman coding over 32-bit words (substrate for SC2).
+
+SC2 (Arelakis & Stenström, ISCA 2014) compresses cache lines with Huffman
+codes derived from sampled value statistics.  This module provides the
+code construction; :mod:`repro.compression.sc2dict` adds the sampling and
+retraining policy.
+
+The code is *canonical* (codes assigned in order of length then symbol),
+which is what hardware decoders use and what makes code assignment
+deterministic for tests.  Code lengths are capped (default 24 bits) by
+flattening the frequency distribution, mirroring SC2's bounded decode
+tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import CompressionError
+
+ESCAPE = object()
+"""Sentinel symbol for values outside the dictionary."""
+
+DEFAULT_MAX_CODE_LENGTH = 24
+
+
+@dataclass(frozen=True)
+class Code:
+    """A single canonical Huffman codeword."""
+
+    value: int
+    length: int
+
+
+class HuffmanCode:
+    """A canonical Huffman code over hashable symbols.
+
+    Build with :meth:`from_frequencies`; symbols absent from the table are
+    the caller's responsibility (SC2 routes them through ``ESCAPE``).
+    """
+
+    def __init__(self, lengths: Dict[object, int]) -> None:
+        if not lengths:
+            raise CompressionError("cannot build an empty Huffman code")
+        self._codes = _assign_canonical(lengths)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Dict[object, int],
+                         max_length: int = DEFAULT_MAX_CODE_LENGTH,
+                         ) -> "HuffmanCode":
+        """Build a length-limited canonical code from symbol counts."""
+        cleaned = {sym: max(1, int(count)) for sym, count in frequencies.items()}
+        if not cleaned:
+            raise CompressionError("cannot build an empty Huffman code")
+        lengths = _huffman_lengths(cleaned)
+        lengths = _limit_lengths(lengths, max_length)
+        return cls(lengths)
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._codes
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def encode(self, symbol: object) -> Code:
+        """Codeword for ``symbol`` (KeyError if absent)."""
+        return self._codes[symbol]
+
+    def length(self, symbol: object) -> int:
+        """Code length in bits for ``symbol``."""
+        return self._codes[symbol].length
+
+    def symbols(self) -> Iterable[object]:
+        return self._codes.keys()
+
+    def build_decoder(self) -> Dict[Tuple[int, int], object]:
+        """Map (length, code value) -> symbol, for stream decoding."""
+        return {(code.length, code.value): symbol
+                for symbol, code in self._codes.items()}
+
+
+class HuffmanStreamCodec:
+    """Bit-level encode/decode of 32-bit-word sequences under a code.
+
+    SC2's cache model only needs encoded *sizes*, but the codec is here
+    for data-path fidelity: lines round-trip through the actual
+    bitstream (tested), so the size accounting provably corresponds to a
+    decodable encoding.  Unknown words escape to ``ESCAPE`` followed by
+    the raw 32 bits.
+    """
+
+    def __init__(self, code: "HuffmanCode") -> None:
+        if ESCAPE not in code:
+            raise CompressionError("stream codec requires an escape symbol")
+        self.code = code
+        self._decoder = code.build_decoder()
+        self._max_length = max(code.length(s) for s in code.symbols())
+
+    def encode_words(self, words, writer) -> int:
+        """Append codewords for ``words`` to a BitWriter; returns bits."""
+        written = 0
+        for word in words:
+            if word in self.code:
+                codeword = self.code.encode(word)
+                writer.write(codeword.value, codeword.length)
+                written += codeword.length
+            else:
+                escape = self.code.encode(ESCAPE)
+                writer.write(escape.value, escape.length)
+                writer.write(word, 32)
+                written += escape.length + 32
+        return written
+
+    def decode_words(self, reader, n_words: int):
+        """Read ``n_words`` symbols back from a BitReader."""
+        words = []
+        for _ in range(n_words):
+            symbol = self._decode_one(reader)
+            if symbol is ESCAPE:
+                symbol = reader.read(32)
+            words.append(symbol)
+        return words
+
+    def _decode_one(self, reader):
+        value = 0
+        for length in range(1, self._max_length + 1):
+            value = (value << 1) | reader.read_bit()
+            symbol = self._decoder.get((length, value))
+            if symbol is not None:
+                return symbol
+        raise CompressionError("bitstream does not decode to a codeword")
+
+
+def _huffman_lengths(frequencies: Dict[object, int]) -> Dict[object, int]:
+    """Classic Huffman construction returning only code lengths."""
+    if len(frequencies) == 1:
+        return {next(iter(frequencies)): 1}
+    heap: List[Tuple[int, int, List[object]]] = []
+    for tiebreak, (symbol, count) in enumerate(sorted(
+            frequencies.items(), key=lambda kv: repr(kv[0]))):
+        heapq.heappush(heap, (count, tiebreak, [symbol]))
+    lengths: Dict[object, int] = {symbol: 0 for symbol in frequencies}
+    counter = len(frequencies)
+    while len(heap) > 1:
+        count_a, _, group_a = heapq.heappop(heap)
+        count_b, _, group_b = heapq.heappop(heap)
+        for symbol in group_a + group_b:
+            lengths[symbol] += 1
+        counter += 1
+        heapq.heappush(heap, (count_a + count_b, counter, group_a + group_b))
+    return lengths
+
+
+def _limit_lengths(lengths: Dict[object, int], max_length: int,
+                   ) -> Dict[object, int]:
+    """Clamp code lengths to ``max_length`` while keeping Kraft validity.
+
+    Uses the simple heuristic of clamping overlong codes then repairing the
+    Kraft sum by lengthening the shortest codes — adequate here because the
+    limit only binds for pathological distributions.
+    """
+    clamped = {sym: min(length, max_length) for sym, length in lengths.items()}
+    kraft = sum(2.0 ** -length for length in clamped.values())
+    if kraft <= 1.0:
+        return clamped
+    # Lengthen the currently-shortest codes until the Kraft inequality holds.
+    items = sorted(clamped.items(), key=lambda kv: kv[1])
+    index = 0
+    while kraft > 1.0:
+        symbol, length = items[index % len(items)]
+        if length < max_length:
+            kraft -= 2.0 ** -length
+            length += 1
+            kraft += 2.0 ** -length
+            items[index % len(items)] = (symbol, length)
+        index += 1
+        if index > 10_000_000:
+            raise CompressionError("failed to limit Huffman code lengths")
+    return dict(items)
+
+
+def _assign_canonical(lengths: Dict[object, int]) -> Dict[object, Code]:
+    """Assign canonical codewords given per-symbol lengths."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], repr(kv[0])))
+    codes: Dict[object, Code] = {}
+    code = 0
+    previous_length: Optional[int] = None
+    for symbol, length in ordered:
+        if length <= 0:
+            raise CompressionError("Huffman code length must be positive")
+        if previous_length is not None:
+            code = (code + 1) << (length - previous_length)
+        codes[symbol] = Code(code, length)
+        previous_length = length
+    return codes

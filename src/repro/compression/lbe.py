@@ -1,0 +1,466 @@
+"""Large-Block Encoding (LBE) — the paper's §3.2.5 and Table 3.
+
+LBE is a stream compressor: cache lines appended to the same log share one
+growing dictionary, which is what lets MORC compress *across* lines.  Input
+is consumed in 256-bit (32-byte) chunks.  For each chunk LBE looks for a
+whole-chunk match in the 256-bit dictionary; failing that it recursively
+tries the two 128-bit halves, then 64-bit, then 32-bit words.  A 32-bit
+word that matches nothing is emitted as a literal — ``u8``/``u16`` when its
+upper bytes are zero (significance compression), otherwise ``u32`` — and is
+immediately added to the 32-bit dictionary.  All-zero blocks use the
+dedicated ``z32``/``z64``/``z128``/``z256`` prefixes and carry no pointer.
+
+Before compressing the next 256-bit chunk, LBE allocates dictionary entries
+for the 64/128/256-bit sub-blocks that failed to compress (paper §3.2.5),
+so identical coarse blocks seen later — in this or any later line of the
+same log — match with a single short symbol.  In hardware these coarse
+entries are binary-tree nodes whose leaves live in the 32-bit
+(data-carrying) dictionary; in this model each granularity keeps its own
+value-indexed table with the same capacity and freeze-when-full discipline,
+which yields identical symbol streams.
+
+Prefix codes (Table 3)::
+
+    u32 00        m32 01          u16 100       z32 1010      u8 1011
+    m64 1100      z64 1101        m128 11100    z128 11101
+    m256 11110    z256 11111
+
+Match symbols append a pointer sized for their dictionary; this model uses
+a 512-byte engine budget: 128 x 32b data entries (7-bit pointers) and
+64/32/16 tree entries at 64/128/256 bits (6/5/4-bit pointers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import CompressionError
+from repro.common.words import LINE_SIZE, check_line
+
+CHUNK_BYTES = 32
+"""LBE reads input in 256-bit chunks."""
+
+#: symbol kind -> (prefix value, prefix width in bits)
+PREFIX_CODES: Dict[str, Tuple[int, int]] = {
+    "u32": (0b00, 2),
+    "m32": (0b01, 2),
+    "u16": (0b100, 3),
+    "z32": (0b1010, 4),
+    "u8": (0b1011, 4),
+    "m64": (0b1100, 4),
+    "z64": (0b1101, 4),
+    "m128": (0b11100, 5),
+    "z128": (0b11101, 5),
+    "m256": (0b11110, 5),
+    "z256": (0b11111, 5),
+}
+
+#: granularity in bytes -> dictionary capacity (entries)
+DICT_CAPACITY: Dict[int, int] = {4: 128, 8: 64, 16: 32, 32: 16}
+
+#: granularity in bytes -> match pointer width in bits
+POINTER_BITS: Dict[int, int] = {4: 7, 8: 6, 16: 5, 32: 4}
+
+#: granularity in bytes -> (match kind, zero kind)
+_KIND_FOR_SIZE = {4: ("m32", "z32"), 8: ("m64", "z64"),
+                  16: ("m128", "z128"), 32: ("m256", "z256")}
+
+_SIZE_FOR_KIND = {
+    "u8": 4, "u16": 4, "u32": 4, "m32": 4, "z32": 4,
+    "m64": 8, "z64": 8, "m128": 16, "z128": 16, "m256": 32, "z256": 32,
+}
+
+_LITERAL_BITS = {"u8": 8, "u16": 16, "u32": 32}
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One LBE output symbol.
+
+    ``kind`` is a Table 3 mnemonic.  Match symbols carry the dictionary
+    ``index``; literal symbols carry the 32-bit word ``value``.
+    """
+
+    kind: str
+    index: Optional[int] = None
+    value: Optional[int] = None
+
+    @property
+    def data_bytes(self) -> int:
+        """How many uncompressed bytes this symbol represents."""
+        return _SIZE_FOR_KIND[self.kind]
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the z* family (and literal zero words)."""
+        return self.kind.startswith("z") or (
+            self.kind.startswith("u") and self.value == 0)
+
+    @property
+    def size_bits(self) -> int:
+        """Exact encoded width: prefix + pointer or literal payload."""
+        _, prefix_bits = PREFIX_CODES[self.kind]
+        if self.kind.startswith("m"):
+            return prefix_bits + POINTER_BITS[self.data_bytes]
+        if self.kind.startswith("u"):
+            return prefix_bits + _LITERAL_BITS[self.kind]
+        return prefix_bits
+
+
+class LbeDictionary:
+    """Per-log dictionary state for all four granularities.
+
+    Each granularity maps block value -> entry index and freezes once its
+    capacity is reached (the C-Pack discipline the paper builds on).
+    """
+
+    __slots__ = ("_maps", "_values")
+
+    def __init__(self) -> None:
+        self._maps: Dict[int, Dict[bytes, int]] = {g: {} for g in DICT_CAPACITY}
+        self._values: Dict[int, List[bytes]] = {g: [] for g in DICT_CAPACITY}
+
+    def lookup(self, block: bytes) -> Optional[int]:
+        """Index of ``block`` in its granularity's dictionary, or None."""
+        return self._maps[len(block)].get(block)
+
+    def value_at(self, size: int, index: int) -> bytes:
+        """Block value stored at ``index`` in the ``size``-byte dictionary."""
+        try:
+            return self._values[size][index]
+        except IndexError:
+            raise CompressionError(
+                f"dangling LBE pointer: size={size} index={index}")
+
+    def insert(self, block: bytes) -> bool:
+        """Add ``block`` if its dictionary has room; True if inserted."""
+        size = len(block)
+        table = self._maps[size]
+        if block in table or len(table) >= DICT_CAPACITY[size]:
+            return False
+        table[block] = len(self._values[size])
+        self._values[size].append(block)
+        return True
+
+    def entry_count(self, size: int) -> int:
+        """Number of entries currently held at one granularity."""
+        return len(self._values[size])
+
+    def copy(self) -> "LbeDictionary":
+        """Deep-enough copy used for trial compression."""
+        clone = LbeDictionary.__new__(LbeDictionary)
+        clone._maps = {g: dict(m) for g, m in self._maps.items()}
+        clone._values = {g: list(v) for g, v in self._values.items()}
+        return clone
+
+
+@dataclass
+class CompressedLine:
+    """The symbol stream and exact encoded size of one appended line."""
+
+    symbols: Tuple[Symbol, ...]
+    size_bits: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.size_bits = sum(symbol.size_bits for symbol in self.symbols)
+
+
+class _Overlay:
+    """Dictionary view with uncommitted local additions.
+
+    Lets trial compression against many candidate logs share the base
+    dictionaries without copying them, while still letting later words of a
+    line match entries allocated by earlier words.
+    """
+
+    __slots__ = ("base", "added", "order")
+
+    def __init__(self, base: LbeDictionary) -> None:
+        self.base = base
+        self.added: Dict[int, Dict[bytes, int]] = {g: {} for g in DICT_CAPACITY}
+        self.order: List[bytes] = []
+
+    def lookup(self, block: bytes) -> Optional[int]:
+        index = self.base.lookup(block)
+        if index is not None:
+            return index
+        return self.added[len(block)].get(block)
+
+    def insert(self, block: bytes) -> None:
+        size = len(block)
+        local = self.added[size]
+        if block in local or self.base.lookup(block) is not None:
+            return
+        if self.base.entry_count(size) + len(local) >= DICT_CAPACITY[size]:
+            return
+        local[block] = self.base.entry_count(size) + len(local)
+        self.order.append(block)
+
+    def commit(self) -> None:
+        """Apply local additions to the base dictionary, in insertion order."""
+        for block in self.order:
+            self.base.insert(block)
+
+
+class LbeCompressor:
+    """Stateless encoder; dictionary state is passed in per log."""
+
+    name = "lbe"
+
+    def compress(self, line: bytes, dictionary: LbeDictionary,
+                 commit: bool = True) -> CompressedLine:
+        """Encode ``line`` against ``dictionary``.
+
+        With ``commit=False`` the dictionary is left untouched (used for
+        multi-log trial compression); otherwise new entries are applied.
+        """
+        line = check_line(line)
+        overlay = _Overlay(dictionary)
+        symbols: List[Symbol] = []
+        for start in range(0, LINE_SIZE, CHUNK_BYTES):
+            chunk = line[start:start + CHUNK_BYTES]
+            failed: List[bytes] = []
+            self._encode_block(chunk, overlay, symbols, failed)
+            # Paper §3.2.5: before the next 256b chunk, allocate entries
+            # for every coarse block that failed to compress.
+            for block in failed:
+                overlay.insert(block)
+        if commit:
+            overlay.commit()
+        return CompressedLine(tuple(symbols))
+
+    def _encode_block(self, block: bytes, overlay: _Overlay,
+                      out: List[Symbol], failed: List[bytes]) -> None:
+        """Recursively encode an aligned block, largest granularity first."""
+        size = len(block)
+        match_kind, zero_kind = _KIND_FOR_SIZE[size]
+        if not any(block):
+            out.append(Symbol(zero_kind))
+            return
+        index = overlay.lookup(block)
+        if index is not None:
+            out.append(Symbol(match_kind, index=index))
+            return
+        if size == 4:
+            self._encode_literal(block, overlay, out)
+            return
+        half = size // 2
+        self._encode_block(block[:half], overlay, out, failed)
+        self._encode_block(block[half:], overlay, out, failed)
+        failed.append(block)
+
+    @staticmethod
+    def _encode_literal(block: bytes, overlay: _Overlay,
+                        out: List[Symbol]) -> None:
+        value = int.from_bytes(block, "big")
+        if value < (1 << 8):
+            out.append(Symbol("u8", value=value))
+        elif value < (1 << 16):
+            out.append(Symbol("u16", value=value))
+        else:
+            out.append(Symbol("u32", value=value))
+        overlay.insert(block)
+
+    # -- fast trial measurement ---------------------------------------------
+
+    #: (match bits, zero bits) per granularity, from Table 3
+    _MEASURE_BITS = {
+        4: (2 + POINTER_BITS[4], 4),
+        8: (4 + POINTER_BITS[8], 4),
+        16: (5 + POINTER_BITS[16], 5),
+        32: (5 + POINTER_BITS[32], 5),
+    }
+    _ZERO_LINE_BITS = 2 * PREFIX_CODES["z256"][1]
+
+    def measure(self, line: bytes, dictionary: LbeDictionary) -> int:
+        """Exact encoded size of ``line`` against ``dictionary`` without
+        building symbols or touching the dictionary.
+
+        Guaranteed equal to ``compress(line, dictionary,
+        commit=False).size_bits`` — multi-log trial placement calls this
+        on every active log for every fill, so it avoids the symbol
+        objects and ordered-overlay bookkeeping of the full encoder.
+        """
+        line = check_line(line)
+        if not any(line):
+            return self._ZERO_LINE_BITS
+        added: Dict[int, Dict[bytes, bool]] = {g: {} for g in DICT_CAPACITY}
+        bits = 0
+        for start in range(0, LINE_SIZE, CHUNK_BYTES):
+            chunk = line[start:start + CHUNK_BYTES]
+            failed: List[bytes] = []
+            bits += self._measure_block(chunk, dictionary, added, failed)
+            for block in failed:
+                self._measure_insert(block, dictionary, added)
+        return bits
+
+    def _measure_block(self, block: bytes, dictionary: LbeDictionary,
+                       added: Dict[int, Dict[bytes, bool]],
+                       failed: List[bytes]) -> int:
+        size = len(block)
+        match_bits, zero_bits = self._MEASURE_BITS[size]
+        if not any(block):
+            return zero_bits
+        if (dictionary.lookup(block) is not None
+                or block in added[size]):
+            return match_bits
+        if size == 4:
+            self._measure_insert(block, dictionary, added)
+            value = int.from_bytes(block, "big")
+            if value < (1 << 8):
+                return 4 + 8
+            if value < (1 << 16):
+                return 3 + 16
+            return 2 + 32
+        half = size // 2
+        bits = (self._measure_block(block[:half], dictionary, added, failed)
+                + self._measure_block(block[half:], dictionary, added,
+                                      failed))
+        failed.append(block)
+        return bits
+
+    @staticmethod
+    def _measure_insert(block: bytes, dictionary: LbeDictionary,
+                        added: Dict[int, Dict[bytes, bool]]) -> None:
+        size = len(block)
+        local = added[size]
+        if block in local or dictionary.lookup(block) is not None:
+            return
+        if dictionary.entry_count(size) + len(local) >= DICT_CAPACITY[size]:
+            return
+        local[block] = True
+
+    # -- decompression ------------------------------------------------------
+
+    def decompress(self, compressed_lines: Iterable[CompressedLine],
+                   upto: Optional[int] = None) -> List[bytes]:
+        """Replay a log's symbol streams back into raw cache lines.
+
+        MORC must decompress a log from its beginning to rebuild dictionary
+        state; ``upto`` stops after that many entries (inclusive index),
+        mirroring the cache stopping at the requested line.
+        """
+        dictionary = LbeDictionary()
+        lines: List[bytes] = []
+        for position, compressed in enumerate(compressed_lines):
+            lines.append(self._decode_line(compressed, dictionary))
+            if upto is not None and position >= upto:
+                break
+        return lines
+
+    def _decode_line(self, compressed: CompressedLine,
+                     dictionary: LbeDictionary) -> bytes:
+        """Decode one line, replaying dictionary updates exactly."""
+        stream = iter(compressed.symbols)
+        pieces: List[bytes] = []
+        for _ in range(LINE_SIZE // CHUNK_BYTES):
+            failed: List[bytes] = []
+            chunk = self._decode_block(CHUNK_BYTES, stream, dictionary, failed)
+            for block in failed:
+                dictionary.insert(block)
+            pieces.append(chunk)
+        if next(stream, None) is not None:
+            raise CompressionError("trailing symbols after full line")
+        return b"".join(pieces)
+
+    def _decode_block(self, size: int, stream, dictionary: LbeDictionary,
+                      failed: List[bytes]) -> bytes:
+        """Decode one aligned block, mirroring the encoder's recursion."""
+        symbol = next(stream, None)
+        if symbol is None:
+            raise CompressionError("symbol stream ended mid-line")
+        if symbol.data_bytes == size:
+            if symbol.kind.startswith("z"):
+                return bytes(size)
+            if symbol.kind.startswith("m"):
+                return dictionary.value_at(size, symbol.index)
+            # literal 32-bit word (only legal at size 4)
+            if size != 4:
+                raise CompressionError(
+                    f"literal symbol where a {size}-byte block was expected")
+            block = symbol.value.to_bytes(4, "big")
+            dictionary.insert(block)
+            return block
+        if symbol.data_bytes > size or size == 4:
+            raise CompressionError(
+                f"{symbol.kind} cannot start a {size}-byte block")
+        # The encoder decomposed this block: push the symbol back by
+        # decoding the halves with a chained iterator.
+        chained = _chain_first(symbol, stream)
+        half = size // 2
+        left = self._decode_block(half, chained, dictionary, failed)
+        right = self._decode_block(half, chained, dictionary, failed)
+        block = left + right
+        failed.append(block)
+        return block
+
+    # -- exact bit-stream serialisation (round-trip/property tests) --------
+
+    @staticmethod
+    def to_bitstream(compressed: CompressedLine) -> BitWriter:
+        """Serialise a symbol stream to its exact bit encoding."""
+        writer = BitWriter()
+        for symbol in compressed.symbols:
+            prefix, width = PREFIX_CODES[symbol.kind]
+            writer.write(prefix, width)
+            if symbol.kind.startswith("m"):
+                writer.write(symbol.index, POINTER_BITS[symbol.data_bytes])
+            elif symbol.kind.startswith("u"):
+                writer.write(symbol.value, _LITERAL_BITS[symbol.kind])
+        return writer
+
+    @staticmethod
+    def from_bitstream(reader: BitReader) -> CompressedLine:
+        """Parse one line's worth (64 bytes) of symbols from a bit stream."""
+        symbols: List[Symbol] = []
+        produced = 0
+        while produced < LINE_SIZE:
+            kind = _read_prefix(reader)
+            if kind.startswith("m"):
+                size = _SIZE_FOR_KIND[kind]
+                symbols.append(Symbol(kind, index=reader.read(POINTER_BITS[size])))
+            elif kind.startswith("u"):
+                symbols.append(Symbol(kind, value=reader.read(_LITERAL_BITS[kind])))
+            else:
+                symbols.append(Symbol(kind))
+            produced += symbols[-1].data_bytes
+        if produced != LINE_SIZE:
+            raise CompressionError("symbol stream overruns the line boundary")
+        return CompressedLine(tuple(symbols))
+
+
+class _chain_first:
+    """Iterator yielding one pushed-back item, then the rest of a stream."""
+
+    __slots__ = ("_first", "_stream")
+
+    def __init__(self, first, stream) -> None:
+        self._first = first
+        self._stream = stream
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if self._first is not None:
+            item, self._first = self._first, None
+            return item
+        return next(self._stream)
+
+
+_DECODE_TABLE = sorted(
+    ((width, prefix, kind) for kind, (prefix, width) in PREFIX_CODES.items()),
+)
+
+
+def _read_prefix(reader: BitReader) -> str:
+    """Match the next bits against Table 3's prefix codes."""
+    for width, prefix, kind in _DECODE_TABLE:
+        if reader.remaining < width:
+            continue
+        if reader.peek(width) == prefix:
+            reader.read(width)
+            return kind
+    raise CompressionError("unrecognised LBE prefix code")

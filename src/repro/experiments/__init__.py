@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a ``run(...)`` function returning a structured result
+and a ``render(result)`` function producing the ASCII table the benchmarks
+print.  ``repro.experiments.runner`` provides shared machinery (benchmark
+lists, scaled instruction budgets, baseline caching).
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_BENCHMARKS,
+    FULL_BENCHMARKS,
+    geomean,
+    scale_instructions,
+)
+
+__all__ = [
+    "DEFAULT_BENCHMARKS",
+    "FULL_BENCHMARKS",
+    "geomean",
+    "scale_instructions",
+]

@@ -1,0 +1,86 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Two future-work directions the paper names:
+
+- **Memory-link compression** (§6, "complementary to cache compression"):
+  MORC reduces the *number* of off-chip transfers; link compression makes
+  each transfer cheaper.  The experiment stacks them and reports the
+  throughput of Uncompressed, MORC, Uncompressed+link, and MORC+link.
+- **Banked DRAM** (§4's FCFS closed-page controller in more detail):
+  re-runs MORC with the bank-level DDR3 model to show the headline
+  results do not depend on the single-server channel simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.experiments.report import series_table
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    instructions_for,
+    scale_instructions,
+)
+from repro.mem.banked import BankedMemoryChannel
+from repro.mem.controller import MemoryChannel
+from repro.mem.link import LinkCompressedChannel
+from repro.sim.system import run_single_program
+from repro.sim.throughput import coarse_grain_throughput
+
+EXTENSION_BENCHMARKS = ("gcc", "mcf", "h264ref", "soplex", "cactusADM")
+
+
+@dataclass
+class ExtensionResult:
+    """Throughputs per configuration."""
+
+    benchmarks: List[str]
+    link_throughput: Dict[str, List[float]] = field(default_factory=dict)
+    banked_vs_simple: Dict[str, List[float]] = field(default_factory=dict)
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        n_instructions: Optional[int] = None) -> ExtensionResult:
+    benchmarks = list(benchmarks or EXTENSION_BENCHMARKS)
+    n_instructions = n_instructions or scale_instructions(
+        DEFAULT_INSTRUCTIONS // 2)
+    result = ExtensionResult(benchmarks=benchmarks)
+    config = SystemConfig()
+
+    def throughput(benchmark: str, scheme: str, channel_cls) -> float:
+        run_result = run_single_program(
+            benchmark, scheme, config=config,
+            n_instructions=instructions_for(benchmark, n_instructions),
+            memory=channel_cls(config.memory))
+        return coarse_grain_throughput(run_result.metrics)
+
+    configurations = (
+        ("Uncompressed", "Uncompressed", MemoryChannel),
+        ("MORC", "MORC", MemoryChannel),
+        ("Uncompressed+link", "Uncompressed", LinkCompressedChannel),
+        ("MORC+link", "MORC", LinkCompressedChannel),
+    )
+    for label, scheme, channel_cls in configurations:
+        result.link_throughput[label] = [
+            throughput(benchmark, scheme, channel_cls)
+            for benchmark in benchmarks]
+
+    for label, channel_cls in (("simple channel", MemoryChannel),
+                               ("banked DDR3", BankedMemoryChannel)):
+        result.banked_vs_simple[label] = [
+            throughput(benchmark, "MORC", channel_cls)
+            for benchmark in benchmarks]
+    return result
+
+
+def render(result: ExtensionResult) -> str:
+    return "\n\n".join([
+        series_table("Extension: memory-link compression "
+                     "(4-thread throughput)", result.benchmarks,
+                     result.link_throughput, precision=4),
+        series_table("Extension: MORC under banked DDR3 "
+                     "(4-thread throughput)", result.benchmarks,
+                     result.banked_vs_simple, precision=4),
+    ])

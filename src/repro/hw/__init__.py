@@ -1,0 +1,11 @@
+"""First-order hardware area/energy models (CACTI-style scaling).
+
+The paper sources its SRAM numbers from CACTI 5.0 at 32nm and its engine
+areas from C-Pack's synthesis results; this package provides a small
+analytical stand-in so overhead analyses (Table 4 and the design-space
+examples) can be evaluated at arbitrary configurations.
+"""
+
+from repro.hw.area import CompressionEngineModel, SramModel
+
+__all__ = ["CompressionEngineModel", "SramModel"]

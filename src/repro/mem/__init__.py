@@ -1,0 +1,6 @@
+"""Off-chip memory models: DDR3 timing and the FCFS bandwidth channel."""
+
+from repro.mem.controller import MemoryChannel
+from repro.mem.dram import Ddr3Timing
+
+__all__ = ["Ddr3Timing", "MemoryChannel"]

@@ -1,0 +1,121 @@
+"""MORC anatomy: decompose a run's compression ratio into its factors.
+
+The steady-state ratio of a log-based cache is the product of four
+factors, each traceable to a mechanism:
+
+    ratio = (512B / mean bits-per-entry)      [data + tag compression]
+          * valid fraction                    [write-back dead lines]
+          * physical occupancy                [logs mid-fill / mid-decay]
+
+This module measures each factor from a finished :class:`MorcCache`, so
+a surprising ratio can be attributed: a low bits-per-entry but high
+invalid fraction points at write churn (Figure 12's territory), a good
+valid fraction but fat entries points at dictionary warm-up or poor
+family segregation (Figure 13's territory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.words import LINE_SIZE
+from repro.morc.cache import MorcCache
+
+
+@dataclass(frozen=True)
+class MorcAnatomy:
+    """Measured ratio decomposition for one cache state."""
+
+    compression_ratio: float
+    mean_data_bits_per_line: float
+    mean_tag_bits_per_line: float
+    mean_entries_per_log: float
+    valid_fraction: float
+    occupancy_fraction: float
+    log_flushes: int
+    log_reuses: int
+    lmt_conflict_rate: float
+    aliased_miss_rate: float
+
+    @property
+    def mean_bits_per_line(self) -> float:
+        return self.mean_data_bits_per_line + self.mean_tag_bits_per_line
+
+    @property
+    def data_compression_factor(self) -> float:
+        """512B-line bits over mean stored bits (data+tag)."""
+        if self.mean_bits_per_line == 0:
+            return 0.0
+        return LINE_SIZE * 8 / self.mean_bits_per_line
+
+
+def analyze(cache: MorcCache) -> MorcAnatomy:
+    """Measure the anatomy of a (typically post-run) MORC cache."""
+    used = [log for log in cache.logs if log.entries]
+    total_entries = sum(log.n_entries for log in used)
+    total_valid = sum(log.valid_count for log in used)
+    total_data_bits = sum(log.data_bits_used for log in used)
+    total_tag_bits = sum(log.tag_bits_used for log in used)
+    capacity_bits = cache.capacity_bytes * 8
+
+    stats = cache.stats
+    fills = stats.get("fills") + stats.get("writebacks_in")
+    lookups = stats.get("read_hits") + stats.get("read_misses")
+
+    def _safe(numerator: float, denominator: float) -> float:
+        return numerator / denominator if denominator else 0.0
+
+    return MorcAnatomy(
+        compression_ratio=cache.compression_ratio(),
+        mean_data_bits_per_line=_safe(total_data_bits, total_entries),
+        mean_tag_bits_per_line=_safe(total_tag_bits, total_entries),
+        mean_entries_per_log=_safe(total_entries, len(used)),
+        valid_fraction=_safe(total_valid, total_entries),
+        occupancy_fraction=_safe(
+            sum(log.data_bits_used + (log.tag_bits_used if log.merged
+                                      else 0) for log in cache.logs),
+            capacity_bits),
+        log_flushes=int(stats.get("log_flushes")),
+        log_reuses=int(stats.get("log_reuses")),
+        lmt_conflict_rate=_safe(stats.get("lmt_conflict_evictions"), fills),
+        aliased_miss_rate=_safe(stats.get("aliased_misses"), lookups),
+    )
+
+
+def render(name: str, anatomy: MorcAnatomy) -> str:
+    """Human-readable anatomy report."""
+    return "\n".join([
+        f"MORC anatomy ({name}):",
+        f"  compression ratio        {anatomy.compression_ratio:6.2f}x",
+        f"  mean stored line         "
+        f"{anatomy.mean_data_bits_per_line:6.1f} data bits + "
+        f"{anatomy.mean_tag_bits_per_line:.1f} tag bits "
+        f"(= {anatomy.data_compression_factor:.1f}x raw)",
+        f"  entries per log          {anatomy.mean_entries_per_log:6.1f}",
+        f"  valid fraction           {anatomy.valid_fraction:6.2f}  "
+        f"(dead lines from write-backs/conflicts)",
+        f"  physical occupancy       {anatomy.occupancy_fraction:6.2f}",
+        f"  log flushes / reuses     {anatomy.log_flushes} / "
+        f"{anatomy.log_reuses}",
+        f"  LMT conflict rate        {anatomy.lmt_conflict_rate:6.3f} "
+        f"per fill",
+        f"  aliased-miss rate        {anatomy.aliased_miss_rate:6.3f} "
+        f"per lookup",
+    ])
+
+
+def analyze_benchmark(benchmark: str, n_instructions: int = 120_000,
+                      config: Optional[object] = None) -> MorcAnatomy:
+    """Convenience: run a benchmark under MORC and analyse the cache."""
+    from repro.common.config import SystemConfig
+    from repro.mem.controller import MemoryChannel
+    from repro.sim.core import CoreSimulator
+    from repro.sim.system import make_llc
+    from repro.workloads.spec import make_trace
+
+    config = config or SystemConfig()
+    llc = make_llc("MORC", config)
+    core = CoreSimulator(llc, MemoryChannel(config.memory), config)
+    core.run(make_trace(benchmark, n_instructions))
+    return analyze(llc)

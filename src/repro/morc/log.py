@@ -1,0 +1,139 @@
+"""MORC's append-only log structure (paper §2.1, §3.2.1).
+
+A log is a fixed-size region (512 bytes by default) into which cache lines
+are compressed and appended; in-place modification is never allowed.  Each
+log also holds its compressed tag stream — either in a separate fixed tag
+region (default, sized by the 2x tag-store factor) or sharing the data
+region and growing from the right (MORCMerged, §3.2.6).
+
+Because decompression must replay a log from its start, each log carries
+its own LBE dictionary and tag-compression stream; both reset when the log
+is reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.errors import CacheError
+from repro.common.words import LINE_SIZE
+from repro.compression.lbe import CompressedLine, LbeDictionary
+from repro.compression.tag_compression import TagStream
+
+
+@dataclass
+class LogEntry:
+    """One appended cache line inside a log."""
+
+    line_address: int
+    data: bytes
+    position: int
+    data_bits: int
+    tag_bits: int
+    valid: bool = True
+    compressed: Optional[CompressedLine] = None
+    lmt_ref: Optional[object] = None  # back-pointer to the tracking LmtEntry
+    log_index: int = -1  # which log holds this entry
+
+    @property
+    def output_bytes_through(self) -> int:
+        """Uncompressed bytes a decompressor emits to reach this entry."""
+        return (self.position + 1) * LINE_SIZE
+
+
+@dataclass
+class Log:
+    """A fixed-size, append-only compressed region."""
+
+    index: int
+    data_capacity_bits: int
+    tag_capacity_bits: Optional[int]
+    merged: bool = False
+    entries: List[LogEntry] = field(default_factory=list)
+    data_bits_used: int = 0
+    tag_bits_used: int = 0
+    valid_count: int = 0
+    closed: bool = False
+    generation: int = 0
+    last_use: int = 0  # for LRU victim selection (paper studies FIFO)
+    dictionary: LbeDictionary = field(default_factory=LbeDictionary)
+    tag_stream: TagStream = field(default_factory=TagStream)
+    lz_history: Optional[object] = None  # LzHistory when MORC runs LZ
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def free_data_bits(self) -> int:
+        """Remaining appendable bits under this log's layout."""
+        if self.merged:
+            return (self.data_capacity_bits - self.data_bits_used
+                    - self.tag_bits_used)
+        return self.data_capacity_bits - self.data_bits_used
+
+    def fits(self, data_bits: int, tag_bits: int) -> bool:
+        """Can a line of this encoded size be appended?"""
+        if self.closed:
+            return False
+        if self.merged:
+            return (self.data_bits_used + self.tag_bits_used
+                    + data_bits + tag_bits) <= self.data_capacity_bits
+        if (self.tag_capacity_bits is not None
+                and self.tag_bits_used + tag_bits > self.tag_capacity_bits):
+            return False
+        return self.data_bits_used + data_bits <= self.data_capacity_bits
+
+    def append(self, line_address: int, data: bytes, data_bits: int,
+               tag_bits: int,
+               compressed: Optional[CompressedLine] = None) -> LogEntry:
+        """Append a compressed line; caller must have checked :meth:`fits`."""
+        if self.closed:
+            raise CacheError(f"append to closed log {self.index}")
+        if not self.fits(data_bits, tag_bits):
+            raise CacheError(f"log {self.index} overflow")
+        entry = LogEntry(line_address=line_address, data=data,
+                         position=len(self.entries), data_bits=data_bits,
+                         tag_bits=tag_bits, compressed=compressed,
+                         log_index=self.index)
+        self.entries.append(entry)
+        self.data_bits_used += data_bits
+        self.tag_bits_used += tag_bits
+        self.valid_count += 1
+        return entry
+
+    def invalidate(self, entry: LogEntry) -> None:
+        """Mark an entry dead (its storage is reclaimed only at log reuse)."""
+        if not entry.valid:
+            return
+        entry.valid = False
+        self.valid_count -= 1
+        if self.valid_count < 0:
+            raise CacheError(f"log {self.index} valid_count underflow")
+
+    @property
+    def all_invalid(self) -> bool:
+        """True when every contained line is dead (log reusable sans flush)."""
+        return self.valid_count == 0 and bool(self.entries)
+
+    def valid_entries(self) -> List[LogEntry]:
+        return [entry for entry in self.entries if entry.valid]
+
+    def reset(self) -> None:
+        """Reclaim the log for reuse as a fresh active log."""
+        self.entries.clear()
+        self.data_bits_used = 0
+        self.tag_bits_used = 0
+        self.valid_count = 0
+        self.closed = False
+        self.generation += 1
+        self.dictionary = LbeDictionary()
+        self.tag_stream = TagStream(n_bases=self.tag_stream.n_bases)
+        self.lz_history = None
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the data region holding (valid or dead) bits."""
+        used = self.data_bits_used + (self.tag_bits_used if self.merged else 0)
+        return used / self.data_capacity_bits if self.data_capacity_bits else 0.0

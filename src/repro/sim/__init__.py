@@ -1,0 +1,33 @@
+"""Trace-driven system simulation: cores, timing, throughput, energy."""
+
+from repro.sim.cgmt import CgmtResult, simulate_from_metrics
+from repro.sim.core import CoreSimulator
+from repro.sim.energy import EnergyBreakdown, compute_energy
+from repro.sim.metrics import RunMetrics
+from repro.sim.system import (
+    ALL_SCHEMES,
+    COMPRESSED_SCHEMES,
+    MultiProgramResult,
+    SingleRunResult,
+    make_llc,
+    run_multi_program,
+    run_single_program,
+)
+from repro.sim.throughput import coarse_grain_throughput
+
+__all__ = [
+    "ALL_SCHEMES",
+    "CgmtResult",
+    "simulate_from_metrics",
+    "COMPRESSED_SCHEMES",
+    "CoreSimulator",
+    "EnergyBreakdown",
+    "MultiProgramResult",
+    "RunMetrics",
+    "SingleRunResult",
+    "coarse_grain_throughput",
+    "compute_energy",
+    "make_llc",
+    "run_multi_program",
+    "run_single_program",
+]

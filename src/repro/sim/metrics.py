@@ -1,0 +1,121 @@
+"""Run metrics collected by the core simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.common.words import LINE_SIZE
+
+
+@dataclass
+class RunMetrics:
+    """Counters and timing for one simulated program."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    l1_accesses: int = 0
+    l1_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    #: total LLC-and-beyond service latency per L1 miss (throughput model)
+    miss_latencies: List[float] = field(default_factory=list)
+    #: compute cycles between consecutive L1 misses (event-driven CGMT)
+    miss_gaps: List[float] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle (single thread)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def offchip_bytes(self) -> int:
+        """Total demand + write-back traffic to memory."""
+        return (self.memory_reads + self.memory_writes) * LINE_SIZE
+
+    @property
+    def gb_per_billion_instructions(self) -> float:
+        """The paper's Figure 6b bandwidth metric."""
+        if not self.instructions:
+            return 0.0
+        bytes_per_instruction = self.offchip_bytes / self.instructions
+        return bytes_per_instruction * 1e9 / 1e9  # bytes/instr == GB/1e9 instr
+
+    @property
+    def compute_cycles(self) -> float:
+        """Cycles net of memory stalls (gap execution under CPI=1)."""
+        return self.cycles - sum(self.miss_latencies)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Capture current scalar totals for later warm-up subtraction."""
+        return MetricsSnapshot.capture(self)
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Accumulate another thread's counters (multi-program reporting)."""
+        self.instructions += other.instructions
+        self.cycles = max(self.cycles, other.cycles)
+        self.l1_accesses += other.l1_accesses
+        self.l1_misses += other.l1_misses
+        self.llc_hits += other.llc_hits
+        self.llc_misses += other.llc_misses
+        self.memory_reads += other.memory_reads
+        self.memory_writes += other.memory_writes
+        self.miss_latencies.extend(other.miss_latencies)
+        self.miss_gaps.extend(other.miss_gaps)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Scalar snapshot of :class:`RunMetrics` for warm-up subtraction.
+
+    Thread-local clocks must stay monotonic for shared-channel FCFS
+    arithmetic, so warm-up regions are carved off by subtracting a
+    snapshot instead of resetting metrics mid-run.
+    """
+
+    instructions: int
+    cycles: float
+    l1_accesses: int
+    l1_misses: int
+    llc_hits: int
+    llc_misses: int
+    memory_reads: int
+    memory_writes: int
+    n_latencies: int
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        return cls(0, 0.0, 0, 0, 0, 0, 0, 0, 0)
+
+    @classmethod
+    def capture(cls, metrics: RunMetrics) -> "MetricsSnapshot":
+        return cls(metrics.instructions, metrics.cycles,
+                   metrics.l1_accesses, metrics.l1_misses,
+                   metrics.llc_hits, metrics.llc_misses,
+                   metrics.memory_reads, metrics.memory_writes,
+                   len(metrics.miss_latencies))
+
+    def delta_from(self, metrics: RunMetrics) -> RunMetrics:
+        """Metrics accumulated since this snapshot was taken."""
+        measured = RunMetrics()
+        measured.instructions = metrics.instructions - self.instructions
+        measured.cycles = metrics.cycles - self.cycles
+        measured.l1_accesses = metrics.l1_accesses - self.l1_accesses
+        measured.l1_misses = metrics.l1_misses - self.l1_misses
+        measured.llc_hits = metrics.llc_hits - self.llc_hits
+        measured.llc_misses = metrics.llc_misses - self.llc_misses
+        measured.memory_reads = metrics.memory_reads - self.memory_reads
+        measured.memory_writes = (metrics.memory_writes
+                                  - self.memory_writes)
+        measured.miss_latencies = metrics.miss_latencies[self.n_latencies:]
+        measured.miss_gaps = metrics.miss_gaps[self.n_latencies:]
+        return measured

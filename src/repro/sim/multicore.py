@@ -1,0 +1,107 @@
+"""General multi-core, shared-LLC system simulation.
+
+`run_multi_program` covers the paper's fixed Table 6 setup (16 threads,
+2MB LLC, 1600 MB/s); this class is the general form: any number of
+threads, any traces, any LLC model and memory channel — the building
+block for custom co-scheduling studies.
+
+Threads interleave round-robin (one access per turn) with independent
+clocks; the shared channel arbitrates FCFS on those clocks.  Warm-up is
+handled by snapshot-subtraction (:class:`repro.sim.metrics
+.MetricsSnapshot`) so thread clocks stay monotonic for the channel
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.cache.base import LLCInterface
+from repro.cache.l1 import L1Cache
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.mem.controller import MemoryChannel
+from repro.sim.core import CoreSimulator
+from repro.sim.metrics import MetricsSnapshot, RunMetrics
+
+
+@dataclass
+class MultiCoreResult:
+    """Per-thread metrics plus shared-LLC state."""
+
+    per_thread: List[RunMetrics]
+    compression_ratio: float
+    llc_stats: dict = field(default_factory=dict)
+
+    @property
+    def completion_cycles(self) -> float:
+        return max((m.cycles for m in self.per_thread), default=0.0)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(m.instructions for m in self.per_thread)
+
+    @property
+    def total_offchip_bytes(self) -> int:
+        return sum(m.offchip_bytes for m in self.per_thread)
+
+
+class MultiCoreSystem:
+    """N cores with private L1s sharing one LLC and one memory channel."""
+
+    def __init__(self, llc: LLCInterface, memory: MemoryChannel,
+                 config: Optional[SystemConfig] = None,
+                 n_threads: int = 16,
+                 inclusive_writes: Optional[bool] = None) -> None:
+        if n_threads < 1:
+            raise ConfigError("need at least one thread")
+        self.config = config or SystemConfig()
+        self.llc = llc
+        self.memory = memory
+        if inclusive_writes is None:
+            inclusive_writes = self.config.morc.inclusive_writes
+        self.cores = [
+            CoreSimulator(llc, memory, self.config,
+                          l1=L1Cache(self.config.l1),
+                          inclusive_writes=inclusive_writes)
+            for _ in range(n_threads)
+        ]
+
+    def run(self, traces: List[Iterable],
+            warmup_instructions: int = 0) -> MultiCoreResult:
+        """Interleave ``traces`` across the cores to completion."""
+        if len(traces) != len(self.cores):
+            raise ConfigError(
+                f"{len(traces)} traces for {len(self.cores)} threads")
+        iterators = [iter(trace) for trace in traces]
+        live = list(enumerate(iterators))
+        snapshots: List[Optional[MetricsSnapshot]] = [
+            None if warmup_instructions > 0 else MetricsSnapshot.empty()
+            for _ in self.cores]
+        while live:
+            still_live = []
+            for index, iterator in live:
+                record = next(iterator, None)
+                if record is None:
+                    continue
+                core = self.cores[index]
+                core.step(record)
+                if (snapshots[index] is None
+                        and core.metrics.instructions
+                        >= warmup_instructions):
+                    snapshots[index] = core.metrics.snapshot()
+                    if all(s is not None for s in snapshots):
+                        self.llc.stats.reset()
+                        self.memory.stats.reset()
+                still_live.append((index, iterator))
+            live = still_live
+        self.llc.sample_ratio()
+        per_thread = []
+        for core, snapshot in zip(self.cores, snapshots):
+            snapshot = snapshot or core.metrics.snapshot()
+            per_thread.append(snapshot.delta_from(core.metrics))
+        return MultiCoreResult(
+            per_thread=per_thread,
+            compression_ratio=self.llc.mean_compression_ratio(),
+            llc_stats=self.llc.stats.as_dict())

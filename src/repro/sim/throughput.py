@@ -1,0 +1,60 @@
+"""The paper's coarse-grain multithreading throughput model (§4).
+
+Each core runs four threads; on an L1 miss the core switches to the next
+thread.  A miss is fully hidden when the other three threads' compute
+(three average inter-miss gaps) covers its latency; otherwise the core
+stalls for the remainder.  Formally, with per-thread average inter-miss
+gap ``g`` and miss latencies ``L_i``, the four-thread core spends
+``max(T*g, g + L_i)`` cycles per miss-round, and throughput is total
+committed instructions over those cycles.
+
+This is exactly the paper's estimate: "measure the average number of
+cycles between L1 misses, then subtract it from the compressed LLC access
+latency to calculate the core's non-stalling throughput" — compute-bound
+workloads hide even MORC's long log decompressions, memory-bound ones
+do not.
+"""
+
+from __future__ import annotations
+
+from repro.sim.metrics import RunMetrics
+
+
+def coarse_grain_throughput(metrics: RunMetrics, threads: int = 4) -> float:
+    """Aggregate IPC of a ``threads``-way CGMT core running this workload."""
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    if metrics.cycles <= 0:
+        return 0.0
+    n_misses = len(metrics.miss_latencies)
+    compute = metrics.compute_cycles
+    if n_misses == 0:
+        # Pure compute: all thread contexts retire one instruction per
+        # cycle in turn; a single-issue core still caps at 1 IPC, but the
+        # model reports per-core committed throughput relative to one
+        # thread's cycle count, so normalisation against a baseline with
+        # the same property cancels it out.
+        return metrics.instructions / compute if compute else 0.0
+    gap = compute / n_misses
+    total_cycles = sum(max(threads * gap, gap + latency)
+                       for latency in metrics.miss_latencies)
+    if total_cycles <= 0:
+        return 0.0
+    return threads * metrics.instructions / total_cycles
+
+
+def throughput_improvement(metrics: RunMetrics, baseline: RunMetrics,
+                           threads: int = 4) -> float:
+    """Percent throughput gain over a baseline run (Figure 6d's metric)."""
+    base = coarse_grain_throughput(baseline, threads)
+    ours = coarse_grain_throughput(metrics, threads)
+    if base == 0:
+        return 0.0
+    return (ours / base - 1.0) * 100.0
+
+
+def ipc_improvement(metrics: RunMetrics, baseline: RunMetrics) -> float:
+    """Percent single-stream IPC gain over a baseline run (Figure 6c)."""
+    if baseline.ipc == 0:
+        return 0.0
+    return (metrics.ipc / baseline.ipc - 1.0) * 100.0

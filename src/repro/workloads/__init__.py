@@ -1,0 +1,35 @@
+"""Synthetic SPEC CPU2006 surrogate workloads.
+
+The paper drives its evaluation with SPEC2006 pinball traces; those are
+not redistributable, so this package generates synthetic traces whose
+*data-value* structure (zeros, cross-line block duplication at 32-256-bit
+granularity, narrow integers) and *address* structure (working-set size,
+spatial runs, hot-set reuse, write fraction, memory intensity) are tuned
+per benchmark to reproduce the paper's qualitative per-benchmark behaviour
+(see DESIGN.md §1 for the substitution argument).
+"""
+
+from repro.workloads.datamodel import AccessProfile, DataProfile, LineDataModel
+from repro.workloads.mixes import MIXED_WORKLOADS, SAME_WORKLOADS, mix_programs
+from repro.workloads.spec import (
+    ALL_SINGLE_PROGRAMS,
+    BASE_BENCHMARKS,
+    benchmark_profile,
+    make_trace,
+)
+from repro.workloads.trace import SyntheticTrace, TraceRecord
+
+__all__ = [
+    "ALL_SINGLE_PROGRAMS",
+    "AccessProfile",
+    "BASE_BENCHMARKS",
+    "DataProfile",
+    "LineDataModel",
+    "MIXED_WORKLOADS",
+    "SAME_WORKLOADS",
+    "SyntheticTrace",
+    "TraceRecord",
+    "benchmark_profile",
+    "make_trace",
+    "mix_programs",
+]

@@ -1,0 +1,159 @@
+"""Workload characterisation: measure what a trace is actually made of.
+
+The surrogate methodology (docs/workloads.md) claims each benchmark
+profile produces specific value/address structure; this module measures
+it from the generated records, the same way one would characterise a
+real trace:
+
+- value structure: zero-chunk/zero-word fractions, narrow-word fraction,
+  distinct-word count, duplicate-chunk rates at 8/16/32-byte granularity
+  (the inter-line duplication LBE feeds on);
+- address structure: touched working set, write fraction, mean gap,
+  sequential-step fraction.
+
+Used by tests to pin the profiles to their documented behaviour, and
+handy for users tuning their own profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.common.words import LINE_SIZE, words32
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Measured trace characteristics."""
+
+    n_records: int
+    n_instructions: int
+    touched_lines: int
+    write_fraction: float
+    mean_gap: float
+    sequential_fraction: float
+    zero_chunk_fraction: float
+    zero_word_fraction: float
+    narrow_word_fraction: float
+    distinct_words: int
+    dup8_fraction: float
+    dup16_fraction: float
+    dup32_fraction: float
+
+    @property
+    def touched_bytes(self) -> int:
+        return self.touched_lines * LINE_SIZE
+
+
+def characterize(records: Iterable[TraceRecord],
+                 max_records: Optional[int] = None) -> WorkloadProfile:
+    """Measure a trace (optionally only its first ``max_records``)."""
+    lines = set()
+    writes = 0
+    n_records = 0
+    gap_total = 0
+    sequential = 0
+    previous_line = None
+
+    zero_chunks = 0
+    total_chunks = 0
+    zero_words = 0
+    narrow_words = 0
+    total_words = 0
+    word_counts: Counter = Counter()
+    seen8: Counter = Counter()
+    seen16: Counter = Counter()
+    seen32: Counter = Counter()
+    dup8 = dup16 = dup32 = 0
+    n8 = n16 = n32 = 0
+
+    for record in records:
+        n_records += 1
+        gap_total += record.gap
+        line_number = record.line_address
+        if previous_line is not None and line_number == previous_line + 1:
+            sequential += 1
+        previous_line = line_number
+        if record.is_write:
+            writes += 1
+        first_touch = line_number not in lines
+        lines.add(line_number)
+
+        data = record.data
+        for word in words32(data):
+            total_words += 1
+            if word == 0:
+                zero_words += 1
+            elif word < (1 << 16):
+                narrow_words += 1
+            word_counts[word] += 1
+        for start in range(0, LINE_SIZE, 32):
+            chunk = data[start:start + 32]
+            total_chunks += 1
+            if not any(chunk):
+                zero_chunks += 1
+        if first_touch:
+            # duplicate-block rates measured across *distinct* lines so
+            # temporal reuse does not masquerade as value duplication
+            for size, seen, in ((8, seen8), (16, seen16), (32, seen32)):
+                for start in range(0, LINE_SIZE, size):
+                    block = data[start:start + size]
+                    if any(block):
+                        if seen[block]:
+                            if size == 8:
+                                dup8 += 1
+                            elif size == 16:
+                                dup16 += 1
+                            else:
+                                dup32 += 1
+                        seen[block] += 1
+                        if size == 8:
+                            n8 += 1
+                        elif size == 16:
+                            n16 += 1
+                        else:
+                            n32 += 1
+        if max_records is not None and n_records >= max_records:
+            break
+
+    def _safe(numerator, denominator):
+        return numerator / denominator if denominator else 0.0
+
+    return WorkloadProfile(
+        n_records=n_records,
+        n_instructions=n_records + gap_total,
+        touched_lines=len(lines),
+        write_fraction=_safe(writes, n_records),
+        mean_gap=_safe(gap_total, n_records),
+        sequential_fraction=_safe(sequential, max(1, n_records - 1)),
+        zero_chunk_fraction=_safe(zero_chunks, total_chunks),
+        zero_word_fraction=_safe(zero_words, total_words),
+        narrow_word_fraction=_safe(narrow_words, total_words),
+        distinct_words=len(word_counts),
+        dup8_fraction=_safe(dup8, n8),
+        dup16_fraction=_safe(dup16, n16),
+        dup32_fraction=_safe(dup32, n32),
+    )
+
+
+def render(name: str, profile: WorkloadProfile) -> str:
+    """One-benchmark characterisation report."""
+    return "\n".join([
+        f"workload {name}:",
+        f"  records={profile.n_records}  "
+        f"instructions={profile.n_instructions}",
+        f"  touched={profile.touched_lines} lines "
+        f"({profile.touched_bytes / 1024:.0f}KB)  "
+        f"writes={profile.write_fraction:.2f}  "
+        f"gap={profile.mean_gap:.1f}",
+        f"  zero chunks={profile.zero_chunk_fraction:.2f}  "
+        f"zero words={profile.zero_word_fraction:.2f}  "
+        f"narrow={profile.narrow_word_fraction:.2f}",
+        f"  dup blocks: 8B={profile.dup8_fraction:.2f}  "
+        f"16B={profile.dup16_fraction:.2f}  "
+        f"32B={profile.dup32_fraction:.2f}  "
+        f"distinct words={profile.distinct_words}",
+    ])

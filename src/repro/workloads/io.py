@@ -1,0 +1,114 @@
+"""Trace file I/O.
+
+Lets users persist synthetic traces or bring their own (e.g. converted
+pin traces).  The format is a simple self-describing binary container:
+
+- header: magic ``b"MORCTRC1"``, record count (u64 LE)
+- per record: address (u64), flags (u8: bit0 = is_write), gap (u32),
+  64 bytes of line data
+
+Files are optionally gzip-compressed (by file extension ``.gz``).
+A :class:`FileTrace` replays a stored trace through the same interface
+as :class:`repro.workloads.trace.SyntheticTrace`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from repro.common.errors import TraceError
+from repro.common.words import LINE_SIZE
+from repro.workloads.trace import TraceRecord
+
+MAGIC = b"MORCTRC1"
+_HEADER = struct.Struct("<8sQ")
+_RECORD = struct.Struct("<QBI")
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str) -> BinaryIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def write_trace(path: PathLike, records: Iterable[TraceRecord]) -> int:
+    """Write records to ``path``; returns the record count.
+
+    The record count in the header requires a second pass, so records
+    are buffered through memory — traces at simulation scale are a few
+    MB.
+    """
+    buffered: List[TraceRecord] = list(records)
+    with _open(path, "wb") as stream:
+        stream.write(_HEADER.pack(MAGIC, len(buffered)))
+        for record in buffered:
+            if len(record.data) != LINE_SIZE:
+                raise TraceError("record data must be one full line")
+            flags = 1 if record.is_write else 0
+            stream.write(_RECORD.pack(record.address, flags, record.gap))
+            stream.write(record.data)
+    return len(buffered)
+
+
+def read_trace(path: PathLike) -> List[TraceRecord]:
+    """Load a whole trace file into memory."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records from a trace file."""
+    with _open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceError("truncated trace header")
+        magic, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceError(f"not a MORC trace file: magic={magic!r}")
+        for index in range(count):
+            fixed = stream.read(_RECORD.size)
+            data = stream.read(LINE_SIZE)
+            if len(fixed) != _RECORD.size or len(data) != LINE_SIZE:
+                raise TraceError(f"truncated record {index}")
+            address, flags, gap = _RECORD.unpack(fixed)
+            yield TraceRecord(address=address, is_write=bool(flags & 1),
+                              gap=gap, data=data)
+
+
+class FileTrace:
+    """A stored trace usable wherever a SyntheticTrace is."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        with _open(self.path, "rb") as stream:
+            header = stream.read(_HEADER.size)
+            if len(header) != _HEADER.size:
+                raise TraceError("truncated trace header")
+            magic, count = _HEADER.unpack(header)
+            if magic != MAGIC:
+                raise TraceError(f"not a MORC trace file: {self.path}")
+            self.n_records = count
+        self.name = self.path.stem
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter_trace(self.path)
+
+    def estimated_records(self) -> int:
+        return self.n_records
+
+
+def roundtrip_equal(a: Iterable[TraceRecord],
+                    b: Iterable[TraceRecord]) -> bool:
+    """True if two traces are identical record-for-record (test helper)."""
+    sentinel = object()
+    from itertools import zip_longest
+    for left, right in zip_longest(a, b, fillvalue=sentinel):
+        if left is sentinel or right is sentinel or left != right:
+            return False
+    return True

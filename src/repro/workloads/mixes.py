@@ -1,0 +1,74 @@
+"""Multi-program workloads (paper Table 6).
+
+Four "mixed" 16-program sets (M0-M3, randomly chosen SPEC programs and
+inputs) and eight "same" sets (S0-S7, sixteen copies of one program).
+The lists below transcribe Table 6 exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.spec import benchmark_profile, make_trace
+from repro.workloads.trace import SyntheticTrace
+
+MIXED_WORKLOADS: Dict[str, List[str]] = {
+    "M0": ["h264ref_2", "soplex", "hmmer_1", "bzip2", "gcc_8", "sjeng",
+           "perlbench_2", "hmmer", "sphinx3", "zeusmp", "gobmk_2",
+           "perlbench_1", "h264ref", "dealII", "gcc_5", "sjeng"],
+    "M1": ["gobmk_2", "gcc_2", "astar_1", "h264ref_2", "gobmk_1",
+           "h264ref_1", "bzip2_1", "gcc_1", "gobmk_4", "bzip2_5",
+           "h264ref_2", "gcc_4", "xalancbmk", "astar_1", "bzip2_5",
+           "bzip2_5"],
+    "M2": ["bzip2_2", "perlbench", "astar_1", "perlbench", "bzip2_5",
+           "sjeng", "omnetpp", "gcc_1", "bzip2", "h264ref", "gcc",
+           "gobmk_4", "perlbench_1", "omnetpp", "omnetpp", "gcc_7"],
+    "M3": ["hmmer_1", "sjeng", "bzip2_2", "mcf", "gcc_5", "bzip2_5",
+           "hmmer", "gcc_1", "perlbench_1", "gcc_4", "hmmer_1", "astar_1",
+           "astar", "astar", "gcc_5", "h264ref"],
+}
+
+SAME_WORKLOADS: Dict[str, List[str]] = {
+    "S0": ["bwaves"] * 16,
+    "S1": ["bzip2"] * 16,
+    "S2": ["gcc"] * 16,
+    "S3": ["h264ref"] * 16,
+    "S4": ["hmmer"] * 16,
+    "S5": ["perlbench"] * 16,
+    "S6": ["sjeng"] * 16,
+    "S7": ["soplex"] * 16,
+}
+
+ALL_MULTI_WORKLOADS: Dict[str, List[str]] = {**MIXED_WORKLOADS,
+                                             **SAME_WORKLOADS}
+
+#: address-space stride between programs, in lines (keeps the 16 programs
+#: disjoint in the shared LLC, as separate processes would be).  The
+#: stride is deliberately *not* a power of two: physical pages of distinct
+#: processes interleave across cache/LMT sets, and a pow2 stride would
+#: alias every program's page 0 onto the same index bits.
+PROGRAM_STRIDE_LINES = (1 << 22) + 10_007
+
+
+def mix_programs(mix_name: str, n_instructions_each: int,
+                 synchronized: bool = False) -> List[SyntheticTrace]:
+    """Build the 16 traces of a Table 6 workload.
+
+    Replicated programs get distinct access seeds (SPEC copies run the
+    same binary over the same input but drift in phase; the paper's
+    S-sets exercise exactly that slight asynchronism).
+    ``synchronized=True`` gives every copy the *same* access stream —
+    the paper's §5.2 observation that instruction-level thread
+    synchronisation (e.g. Execution Drafting) would "completely
+    eliminate threads asynchronism and greatly increase compression".
+    """
+    if mix_name not in ALL_MULTI_WORKLOADS:
+        raise KeyError(f"unknown multi-program workload {mix_name!r}")
+    traces: List[SyntheticTrace] = []
+    for slot, name in enumerate(ALL_MULTI_WORKLOADS[mix_name]):
+        benchmark_profile(name)  # validate early
+        offset = 0 if synchronized else 7 * slot
+        traces.append(make_trace(
+            name, n_instructions_each, seed_offset=offset,
+            base_line=slot * PROGRAM_STRIDE_LINES))
+    return traces

@@ -1,0 +1,208 @@
+"""SPEC CPU2006 surrogate benchmark profiles.
+
+Each SPEC benchmark the paper evaluates is modelled by a
+(:class:`DataProfile`, :class:`AccessProfile`) pair, tuned so the
+*qualitative* behaviour matches the paper's characterisation:
+
+- ``astar/gcc/omnetpp/soplex/zeusmp``: MORC's best compressors (~6x in
+  Fig. 6a) — abundant zeros and/or strong cross-line block reuse.
+- ``gcc/zeusmp``: zero-dominated (Fig. 7 shows their symbols are mostly
+  zero) — compressible even intra-line, but prior work runs out of tags.
+- ``cactusADM/gamess/leslie3d/povray``: significant *non-zero* m256 usage
+  (Fig. 7's hatched bars) — only inter-line compression catches these.
+- ``h264ref``: benefits from significance-based u8/u16 truncation.
+- ``mcf/omnetpp/perlbench``: duplication at the smaller m64/m128
+  granularities (pointer-rich heaps).
+- FP benchmarks with huge working sets (``cactusADM/lbm/bwaves/...``):
+  miss-rate barely moves with effective cache size (the paper cites
+  cactusADM's flat miss curve between 128KB and 2MB), so compression
+  yields little bandwidth saving.
+- ``hmmer/gamess/povray/namd/tonto``: compute-bound (large instruction
+  gaps), latency-tolerant under multithreading.
+
+Underscore variants (``gcc_1`` .. ``gcc_8``) model SPEC's additional
+reference inputs: same structure, perturbed seed/working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.workloads.datamodel import AccessProfile, DataProfile
+from repro.workloads.trace import SyntheticTrace
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named benchmark: data structure + access structure."""
+
+    name: str
+    data: DataProfile
+    access: AccessProfile
+    seed: int = 0
+
+
+def _spec(name: str, data: DataProfile, access: AccessProfile,
+          seed: int) -> BenchmarkSpec:
+    return BenchmarkSpec(name=name, data=data, access=access, seed=seed)
+
+
+# -- data profile archetypes ---------------------------------------------------
+
+_ZERO_HEAVY = DataProfile(
+    p_zero_chunk=0.50, p_pool256=0.30, p_pool128=0.45, p_pool64=0.45,
+    p_zero_word=0.45, p_narrow8=0.15, p_narrow16=0.15, p_pool32=0.20,
+    pool256_size=8, pool128_size=10, pool64_size=12, pool32_size=16,
+    n_families=2)
+
+_POOLED_COARSE = DataProfile(  # non-zero m256-heavy (FP state blocks)
+    p_zero_chunk=0.05, p_pool256=0.55, p_pool128=0.15, p_pool64=0.10,
+    p_zero_word=0.08, p_narrow8=0.04, p_narrow16=0.06, p_pool32=0.08,
+    pool256_size=6, pool128_size=8, pool64_size=12, pool32_size=24,
+    n_families=8, phase_instructions=40_000)
+
+_POOLED_FINE = DataProfile(  # pointer-rich: m64/m128 duplication
+    p_zero_chunk=0.10, p_pool256=0.06, p_pool128=0.40, p_pool64=0.55,
+    p_zero_word=0.18, p_narrow8=0.06, p_narrow16=0.12, p_pool32=0.12,
+    pool256_size=6, pool128_size=8, pool64_size=12, pool32_size=16,
+    n_families=2)
+
+_NARROW = DataProfile(  # h264ref-style small values
+    p_zero_chunk=0.08, p_pool256=0.08, p_pool128=0.12, p_pool64=0.15,
+    p_zero_word=0.12, p_narrow8=0.32, p_narrow16=0.32, p_pool32=0.10,
+    pool256_size=8, pool128_size=12, pool64_size=16, pool32_size=24,
+    n_families=2)
+
+_MIXED = DataProfile(  # moderately compressible integer code
+    p_zero_chunk=0.20, p_pool256=0.20, p_pool128=0.28, p_pool64=0.25,
+    p_zero_word=0.32, p_narrow8=0.12, p_narrow16=0.14, p_pool32=0.12,
+    pool256_size=8, pool128_size=10, pool64_size=14, pool32_size=24,
+    n_families=3)
+
+_RANDOMISH = DataProfile(  # bzip2/lbm-like, low value locality
+    p_zero_chunk=0.07, p_pool256=0.10, p_pool128=0.12, p_pool64=0.15,
+    p_zero_word=0.10, p_narrow8=0.06, p_narrow16=0.08, p_pool32=0.08,
+    pool256_size=6, pool128_size=8, pool64_size=12, pool32_size=16,
+    n_families=2)
+
+_FP_STREAM = DataProfile(  # streaming FP arrays, modest reuse
+    p_zero_chunk=0.08, p_pool256=0.42, p_pool128=0.18, p_pool64=0.10,
+    p_zero_word=0.10, p_narrow8=0.02, p_narrow16=0.05, p_pool32=0.08,
+    pool256_size=8, pool128_size=10, pool64_size=14, pool32_size=24,
+    n_families=8, phase_instructions=40_000)
+
+
+def _acc(ws: int, gap: float, wr: float = 0.25, seq: float = 0.5,
+         hot: float = 0.3, run: int = 8, hot_lines: int = 256,
+         ) -> AccessProfile:
+    return AccessProfile(working_set_lines=ws, mean_gap=gap,
+                         write_fraction=wr, p_sequential=seq, p_hot=hot,
+                         mean_run_lines=run, hot_set_lines=hot_lines)
+
+
+#: base benchmark table — name -> (data archetype, access profile, seed)
+BASE_BENCHMARKS: Dict[str, BenchmarkSpec] = {}
+
+
+def _register(name: str, data: DataProfile, access: AccessProfile,
+              seed: int) -> None:
+    BASE_BENCHMARKS[name] = _spec(name, data, access, seed)
+
+
+# SPEC CINT2006 surrogates
+_register("astar", _ZERO_HEAVY, _acc(16000, 6.0, wr=0.12, seq=0.7,
+                                      run=16), 101)
+_register("bzip2", _RANDOMISH, _acc(16000, 8.0, wr=0.21), 102)
+_register("gcc", _ZERO_HEAVY, _acc(16000, 6.0, wr=0.12, seq=0.7,
+                                    run=16), 103)
+_register("gobmk", _MIXED, _acc(8000, 10.0, wr=0.15), 104)
+_register("h264ref", _NARROW, _acc(8000, 12.0, wr=0.18), 105)
+_register("hmmer", _MIXED, _acc(4400, 50.0, wr=0.12), 106)
+_register("mcf", _POOLED_FINE, _acc(30000, 3.0, wr=0.15, seq=0.3), 107)
+_register("omnetpp", replace(_POOLED_FINE, p_zero_chunk=0.22,
+                             p_zero_word=0.25),
+          _acc(16000, 5.0, wr=0.14, seq=0.5, run=12), 108)
+_register("perlbench", _POOLED_FINE, _acc(9000, 8.0, wr=0.18), 109)
+_register("sjeng", _RANDOMISH, _acc(6000, 12.0, wr=0.17), 110)
+_register("xalancbmk", _MIXED, _acc(10000, 5.0, wr=0.15), 111)
+
+# SPEC CFP2006 surrogates
+_register("bwaves", _FP_STREAM, _acc(40000, 4.0, wr=0.12, seq=0.75,
+                                     run=24), 201)
+_register("cactusADM", _POOLED_COARSE, _acc(60000, 5.0, wr=0.15, seq=0.7,
+                                            run=20), 202)
+_register("calculix", _MIXED, _acc(8000, 10.0, wr=0.13), 203)
+_register("dealII", _MIXED, _acc(8000, 10.0, wr=0.13), 204)
+_register("gamess", _POOLED_COARSE, _acc(4400, 50.0, wr=0.12), 205)
+_register("GemsFDTD", _FP_STREAM, _acc(40000, 4.0, wr=0.15, seq=0.75,
+                                       run=24), 206)
+_register("gromacs", _MIXED, _acc(8000, 12.0, wr=0.13), 207)
+_register("lbm", _RANDOMISH, _acc(60000, 3.0, wr=0.24, seq=0.85,
+                                  run=32), 208)
+_register("leslie3d", _POOLED_COARSE, _acc(30000, 5.0, wr=0.15, seq=0.7,
+                                           run=20), 209)
+_register("milc", _FP_STREAM, _acc(40000, 4.0, wr=0.18, seq=0.6), 210)
+_register("namd", _RANDOMISH, _acc(4400, 45.0, wr=0.12), 211)
+_register("povray", _POOLED_COARSE, _acc(4400, 45.0, wr=0.13), 212)
+_register("soplex", _ZERO_HEAVY, _acc(16000, 5.0, wr=0.12, seq=0.7,
+                                       run=16), 213)
+_register("sphinx3", _MIXED, _acc(9000, 6.0, wr=0.11, seq=0.6), 214)
+_register("tonto", _MIXED, _acc(4400, 40.0, wr=0.13), 215)
+_register("wrf", _FP_STREAM, _acc(8000, 7.0, wr=0.15, seq=0.6), 216)
+_register("zeusmp", _ZERO_HEAVY, _acc(16000, 6.0, wr=0.15, seq=0.7,
+                                       run=16), 217)
+
+#: extra reference inputs per benchmark (Fig. 6's ``_N`` variants)
+_VARIANTS: Dict[str, int] = {
+    "astar": 1, "bzip2": 5, "gcc": 8, "gobmk": 4, "h264ref": 2,
+    "hmmer": 1, "perlbench": 2, "gamess": 2, "soplex": 1,
+}
+
+
+def _variant_names() -> List[str]:
+    names: List[str] = []
+    for base in BASE_BENCHMARKS:
+        names.append(base)
+        for i in range(1, _VARIANTS.get(base, 0) + 1):
+            names.append(f"{base}_{i}")
+    return names
+
+
+ALL_SINGLE_PROGRAMS: List[str] = _variant_names()
+"""Every single-program workload of Figure 6 (base + input variants)."""
+
+
+def benchmark_profile(name: str) -> BenchmarkSpec:
+    """Resolve a benchmark name (including ``_N`` input variants)."""
+    if name in BASE_BENCHMARKS:
+        return BASE_BENCHMARKS[name]
+    base_name, _, suffix = name.rpartition("_")
+    if base_name in BASE_BENCHMARKS and suffix.isdigit():
+        variant = int(suffix)
+        base = BASE_BENCHMARKS[base_name]
+        # A different reference input: same program structure, different
+        # data set — perturb the seed and working set.
+        scale = 1.0 + 0.15 * variant
+        access = replace(base.access, working_set_lines=max(
+            64, int(base.access.working_set_lines * scale)))
+        return BenchmarkSpec(name=name, data=base.data, access=access,
+                             seed=base.seed + 1000 * variant)
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def make_trace(name: str, n_instructions: int, seed_offset: int = 0,
+               base_line: int = 0) -> SyntheticTrace:
+    """Build a reproducible trace for a benchmark (or variant) name.
+
+    ``seed_offset`` perturbs only the *access* stream: a re-seeded copy
+    models another process running the same program and input (same data
+    values, drifted phase), which is what the paper's S-sets exercise.
+    """
+    spec = benchmark_profile(name)
+    return SyntheticTrace(name=name, data_profile=spec.data,
+                          access_profile=spec.access,
+                          n_instructions=n_instructions,
+                          seed=spec.seed + seed_offset,
+                          base_line=base_line,
+                          data_seed=spec.seed)

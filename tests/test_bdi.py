@@ -1,0 +1,100 @@
+"""Tests for the Base-Delta-Immediate codec."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.words import LINE_SIZE
+from repro.compression.bdi import BdiCompressor, ENCODING_BITS
+
+
+@pytest.fixture
+def bdi():
+    return BdiCompressor()
+
+
+def line_of_u64(values):
+    return b"".join(v.to_bytes(8, "big") for v in values)
+
+
+class TestEncodings:
+    def test_zero_line(self, bdi):
+        mode, _ = bdi.compress_tokens(bytes(LINE_SIZE))
+        assert mode == "zeros"
+        assert bdi.compress(bytes(LINE_SIZE)).size_bits == ENCODING_BITS + 8
+
+    def test_repeated_value(self, bdi):
+        line = line_of_u64([0xDEADBEEF12345678] * 8)
+        mode, _ = bdi.compress_tokens(line)
+        assert mode == "repeated"
+
+    def test_pointer_array_base8_delta1(self, bdi):
+        base = 0x7FFF_AAAA_BBBB_0000
+        line = line_of_u64([base + i * 8 for i in range(8)])
+        mode, _ = bdi.compress_tokens(line)
+        assert mode == "base8-delta1"
+        # 4b tag + (8 base + 8 deltas + 1 mask byte) = 4 + 136 bits
+        assert bdi.compress(line).size_bits == ENCODING_BITS + 17 * 8
+
+    def test_pointer_array_with_nulls(self, bdi):
+        """The implicit zero base lets NULL pointers coexist."""
+        base = 0x7FFF_AAAA_BBBB_0000
+        values = [base + i * 8 for i in range(8)]
+        values[3] = 0
+        values[6] = 0
+        mode, _ = bdi.compress_tokens(line_of_u64(values))
+        assert mode == "base8-delta1"
+
+    def test_small_ints_base4(self, bdi):
+        words = [1000 + i for i in range(16)]
+        line = b"".join(w.to_bytes(4, "big") for w in words)
+        mode, payload = bdi.compress_tokens(line)
+        assert mode in ("base4-delta1", "base2-delta1", "base8-delta2")
+
+    def test_incompressible(self, bdi):
+        rng = random.Random(0)
+        line = bytes(rng.randrange(256) for _ in range(LINE_SIZE))
+        mode, _ = bdi.compress_tokens(line)
+        assert mode == "raw"
+        assert bdi.compress(line).size_bits == ENCODING_BITS + 512
+
+    def test_picks_smallest_mode(self, bdi):
+        """A line encodable at delta1 must not be stored at delta4."""
+        base = 1 << 40
+        line = line_of_u64([base + i for i in range(8)])
+        size = bdi.compress(line)
+        assert size.size_bits <= ENCODING_BITS + 17 * 8
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("values", [
+        [0] * 8,
+        [123456789] * 8,
+        [2 ** 40 + i * 3 for i in range(8)],
+        [2 ** 40, 0, 2 ** 40 + 5, 0, 2 ** 40 - 7, 2 ** 40, 0, 2 ** 40 + 100],
+    ])
+    def test_structured_lines(self, bdi, values):
+        line = line_of_u64(values)
+        assert bdi.roundtrip(line) == line
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE))
+def test_bdi_roundtrip_property(data):
+    bdi = BdiCompressor()
+    assert bdi.roundtrip(data) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 62),
+       st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=8, max_size=8))
+def test_bdi_compresses_clustered_values(base, offsets):
+    """Value-clustered lines always beat raw storage."""
+    bdi = BdiCompressor()
+    values = [max(0, base + offset) for offset in offsets]
+    line = line_of_u64(values)
+    assert bdi.roundtrip(line) == line
+    assert bdi.compress(line).size_bits < ENCODING_BITS + 512

@@ -1,0 +1,129 @@
+"""Unit and property tests for the bit-stream writer/reader."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import CompressionError
+
+
+class TestBitWriter:
+    def test_empty(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        assert writer.to_bytes() == b""
+
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write_bit(bit)
+        assert writer.bit_length == 4
+        assert writer.getvalue() == (0b1011, 4)
+
+    def test_multi_width(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0xFF, 8)
+        assert writer.getvalue() == ((0b101 << 8) | 0xFF, 11)
+
+    def test_zero_width_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_value_too_wide_raises(self):
+        writer = BitWriter()
+        with pytest.raises(CompressionError):
+            writer.write(4, 2)
+
+    def test_negative_value_raises(self):
+        writer = BitWriter()
+        with pytest.raises(CompressionError):
+            writer.write(-1, 4)
+
+    def test_negative_width_raises(self):
+        writer = BitWriter()
+        with pytest.raises(CompressionError):
+            writer.write(0, -1)
+
+    def test_extend(self):
+        a, b = BitWriter(), BitWriter()
+        a.write(0b11, 2)
+        b.write(0b01, 2)
+        a.extend(b)
+        assert a.getvalue() == (0b1101, 4)
+
+    def test_to_bytes_pads_right(self):
+        writer = BitWriter()
+        writer.write(0b1, 1)
+        assert writer.to_bytes() == bytes([0b10000000])
+
+
+class TestBitReader:
+    def test_read_back(self):
+        writer = BitWriter()
+        writer.write(0b1011, 4)
+        writer.write(0xABCD, 16)
+        reader = BitReader.from_writer(writer)
+        assert reader.read(4) == 0b1011
+        assert reader.read(16) == 0xABCD
+        assert reader.remaining == 0
+
+    def test_underflow_raises(self):
+        reader = BitReader(0b1, 1)
+        reader.read(1)
+        with pytest.raises(CompressionError):
+            reader.read(1)
+
+    def test_peek_does_not_consume(self):
+        reader = BitReader(0b1010, 4)
+        assert reader.peek(2) == 0b10
+        assert reader.peek(2) == 0b10
+        assert reader.read(4) == 0b1010
+
+    def test_peek_past_end_pads_right(self):
+        reader = BitReader(0b11, 2)
+        assert reader.peek(4) == 0b1100
+
+    def test_from_bytes(self):
+        reader = BitReader.from_bytes(b"\xA5")
+        assert reader.read(8) == 0xA5
+
+    def test_from_bytes_trimmed(self):
+        reader = BitReader.from_bytes(b"\xA0", bit_length=4)
+        assert reader.read(4) == 0xA
+        assert reader.remaining == 0
+
+    def test_from_bytes_overlong_raises(self):
+        with pytest.raises(CompressionError):
+            BitReader.from_bytes(b"\x00", bit_length=9)
+
+    def test_position_tracks(self):
+        reader = BitReader(0xFF, 8)
+        reader.read(3)
+        assert reader.position == 3
+        assert reader.remaining == 5
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**24 - 1),
+                          st.integers(min_value=24, max_value=32)),
+                max_size=50))
+def test_roundtrip_property(chunks):
+    """Anything written comes back identical, in order."""
+    writer = BitWriter()
+    for value, width in chunks:
+        writer.write(value, width)
+    reader = BitReader.from_writer(writer)
+    for value, width in chunks:
+        assert reader.read(width) == value
+    assert reader.remaining == 0
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_bytes_roundtrip(data):
+    """to_bytes/from_bytes preserve whole-byte streams."""
+    writer = BitWriter()
+    for byte in data:
+        writer.write(byte, 8)
+    reader = BitReader.from_bytes(writer.to_bytes(), bit_length=len(data) * 8)
+    assert bytes(reader.read(8) for _ in range(len(data))) == data

@@ -1,0 +1,109 @@
+"""Property tests comparing cache models against reference semantics."""
+
+import random
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.set_assoc import UncompressedCache
+from repro.common.config import CacheGeometry
+
+
+class _ReferenceCache:
+    """Oracle model: per-set LRU over full lines, no compression."""
+
+    def __init__(self, n_sets, ways):
+        self.n_sets = n_sets
+        self.ways = ways
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+
+    def _set(self, line):
+        return self.sets[line % self.n_sets]
+
+    def read(self, line):
+        cache_set = self._set(line)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return True
+        return False
+
+    def fill(self, line, dirty=False):
+        cache_set = self._set(line)
+        evicted = None
+        if line in cache_set:
+            dirty = dirty or cache_set[line]
+            cache_set.move_to_end(line)
+            cache_set[line] = dirty
+            return None
+        if len(cache_set) >= self.ways:
+            victim, victim_dirty = cache_set.popitem(last=False)
+            evicted = (victim, victim_dirty)
+        cache_set[line] = dirty
+        return evicted
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_uncompressed_cache_matches_lru_reference(seed):
+    """Hit/miss and dirty-eviction behaviour must equal textbook LRU."""
+    rng = random.Random(seed)
+    geometry = CacheGeometry(size_bytes=8 * 64 * 4, ways=4)  # 8 sets
+    cache = UncompressedCache(geometry)
+    reference = _ReferenceCache(geometry.n_sets, geometry.ways)
+    data = bytes(64)
+    for _ in range(200):
+        line = rng.randrange(64)
+        op = rng.random()
+        if op < 0.5:
+            hit = cache.read(line * 64).hit
+            assert hit == reference.read(line)
+        elif op < 0.8:
+            result = cache.fill(line * 64, data)
+            evicted = reference.fill(line, dirty=False)
+            model_wb = {address // 64 for address, _ in result.writebacks}
+            if evicted and evicted[1]:
+                assert evicted[0] in model_wb
+            else:
+                assert not model_wb
+        else:
+            result = cache.writeback(line * 64, data)
+            evicted = reference.fill(line, dirty=True)
+            model_wb = {address // 64 for address, _ in result.writebacks}
+            if evicted and evicted[1]:
+                assert evicted[0] in model_wb
+    # Final residency identical.
+    for line in range(64):
+        assert cache.contains(line * 64) == reference.read(line)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_core_simulator_conserves_counts(seed):
+    """instructions = accesses + gaps; hits+misses = accesses; cycles
+    are monotone and bounded below by instructions."""
+    from repro.cache.set_assoc import UncompressedCache
+    from repro.common.config import CacheGeometry, SystemConfig
+    from repro.mem.controller import MemoryChannel
+    from repro.sim.core import CoreSimulator
+    from repro.workloads.trace import TraceRecord
+
+    rng = random.Random(seed)
+    config = SystemConfig()
+    core = CoreSimulator(UncompressedCache(CacheGeometry(4096, ways=4)),
+                         MemoryChannel(config.memory), config)
+    n_accesses = 100
+    total_gaps = 0
+    for _ in range(n_accesses):
+        gap = rng.randrange(4)
+        total_gaps += gap
+        core.step(TraceRecord(address=rng.randrange(128) * 64,
+                              is_write=rng.random() < 0.3, gap=gap,
+                              data=bytes(64)))
+    metrics = core.metrics
+    assert metrics.instructions == n_accesses + total_gaps
+    assert metrics.l1_accesses == n_accesses
+    assert metrics.llc_hits + metrics.llc_misses == metrics.l1_misses
+    assert metrics.cycles >= metrics.instructions
+    assert metrics.llc_misses == metrics.memory_reads
+    assert len(metrics.miss_latencies) == metrics.l1_misses
+    assert len(metrics.miss_gaps) == metrics.l1_misses

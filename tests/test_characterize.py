@@ -1,0 +1,87 @@
+"""Tests pinning the benchmark profiles to their documented structure."""
+
+import pytest
+
+from repro.workloads.characterize import characterize, render
+from repro.workloads.spec import make_trace
+
+
+def profile_of(benchmark, n_instructions=20_000, max_records=None):
+    return characterize(make_trace(benchmark, n_instructions),
+                        max_records=max_records)
+
+
+class TestMeasurement:
+    def test_counts(self):
+        profile = profile_of("gcc", 10_000)
+        assert profile.n_records > 0
+        assert profile.n_instructions >= 10_000
+        assert profile.touched_lines > 0
+
+    def test_max_records_cap(self):
+        profile = profile_of("gcc", 50_000, max_records=100)
+        assert profile.n_records == 100
+
+    def test_render(self):
+        text = render("gcc", profile_of("gcc", 5_000))
+        assert "gcc" in text and "zero" in text
+
+
+class TestProfilesMatchDocumentation:
+    def test_zero_heavy_archetype(self):
+        """gcc/zeusmp are documented as zero-dominated."""
+        for benchmark in ("gcc", "zeusmp"):
+            profile = profile_of(benchmark)
+            assert profile.zero_chunk_fraction > 0.3
+            assert profile.zero_word_fraction > 0.4
+
+    def test_coarse_pooled_archetype(self):
+        """cactusADM duplicates at 32B but is not zero-heavy."""
+        profile = profile_of("cactusADM")
+        assert profile.dup32_fraction > 0.3
+        assert profile.zero_chunk_fraction < 0.2
+
+    def test_fine_pooled_archetype(self):
+        """mcf duplicates at 8B more than at 32B."""
+        profile = profile_of("mcf")
+        assert profile.dup8_fraction > profile.dup32_fraction
+
+    def test_narrow_archetype(self):
+        """h264ref's words are disproportionately narrow."""
+        h264 = profile_of("h264ref")
+        cactus = profile_of("cactusADM")
+        assert h264.narrow_word_fraction > 2 * cactus.narrow_word_fraction
+        assert h264.narrow_word_fraction > 0.3
+
+    def test_randomish_archetype(self):
+        """bzip2 shows little duplication at any granularity."""
+        profile = profile_of("bzip2")
+        assert profile.dup32_fraction < 0.25
+        assert profile.zero_chunk_fraction < 0.15
+
+    def test_working_set_ordering(self):
+        """Huge-WS FP benchmarks touch far more lines than hmmer."""
+        lbm = profile_of("lbm", 30_000)
+        hmmer = profile_of("hmmer", 30_000)
+        assert lbm.touched_lines > 2 * hmmer.touched_lines
+
+    def test_write_fractions_respected(self):
+        from repro.workloads.spec import benchmark_profile
+        for benchmark in ("gcc", "lbm", "hmmer"):
+            spec = benchmark_profile(benchmark)
+            profile = profile_of(benchmark, 40_000)
+            assert profile.write_fraction == pytest.approx(
+                spec.access.write_fraction, abs=0.05)
+
+    def test_gap_intensity_respected(self):
+        from repro.workloads.spec import benchmark_profile
+        for benchmark in ("mcf", "hmmer"):
+            spec = benchmark_profile(benchmark)
+            profile = profile_of(benchmark, 60_000)
+            assert profile.mean_gap == pytest.approx(
+                spec.access.mean_gap, rel=0.2)
+
+    def test_sequential_benchmarks_step(self):
+        lbm = profile_of("lbm")     # seq=0.85, long runs
+        mcf = profile_of("mcf")     # seq=0.3
+        assert lbm.sequential_fraction > mcf.sequential_fraction

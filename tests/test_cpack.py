@@ -1,0 +1,104 @@
+"""Tests for the C-Pack codec."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.words import LINE_SIZE, from_words32
+from repro.compression.cpack import CPackCompressor, DICTIONARY_ENTRIES
+
+
+@pytest.fixture
+def cpack():
+    return CPackCompressor()
+
+
+class TestPatterns:
+    def test_zero_line(self, cpack):
+        tokens = cpack.compress_tokens(bytes(LINE_SIZE))
+        assert all(t[0] == "zzzz" for t in tokens)
+        assert cpack.compress(bytes(LINE_SIZE)).size_bits == 16 * 2
+
+    def test_zzzx_small_byte(self, cpack):
+        line = from_words32([0x7F] * 16)
+        tokens = cpack.compress_tokens(line)
+        assert tokens[0][0] == "zzzx"
+
+    def test_full_match_mmmm(self, cpack):
+        word = 0xDEADBEEF
+        line = from_words32([word] * 16)
+        tokens = cpack.compress_tokens(line)
+        assert tokens[0][0] == "xxxx"
+        assert all(t[0] == "mmmm" for t in tokens[1:])
+
+    def test_partial_match_mmmx(self, cpack):
+        line = from_words32([0xDEADBE00, 0xDEADBEFF] + [0] * 14)
+        tokens = cpack.compress_tokens(line)
+        assert tokens[0][0] == "xxxx"
+        assert tokens[1][0] == "mmmx"
+
+    def test_partial_match_mmxx(self, cpack):
+        line = from_words32([0xDEAD0000, 0xDEADFFFF] + [0] * 14)
+        tokens = cpack.compress_tokens(line)
+        assert tokens[1][0] == "mmxx"
+
+    def test_incompressible(self, cpack):
+        rng = random.Random(0)
+        words = [rng.randrange(1 << 24, 1 << 32) for _ in range(16)]
+        line = from_words32(words)
+        size = cpack.compress(line)
+        assert size.size_bits >= 16 * 32  # at least raw payload
+
+    def test_dictionary_is_per_line(self, cpack):
+        """C-Pack resets the dictionary for every line."""
+        word = 0xCAFEBABE
+        line = from_words32([word] * 16)
+        first = cpack.compress_tokens(line)
+        second = cpack.compress_tokens(line)
+        assert first == second
+
+
+class TestRoundtrip:
+    def test_mixed_line(self, cpack):
+        line = from_words32([0, 0x7F, 0xDEADBEEF, 0xDEADBE00, 0xDEAD1234,
+                             0, 0xDEADBEEF, 5] + [0xABCD0000 + i
+                                                  for i in range(8)])
+        assert cpack.roundtrip(line) == line
+
+    def test_fifo_replacement(self, cpack):
+        """More distinct words than dictionary entries still round-trips."""
+        words = [(0x01000000 * (i + 1)) | i for i in range(16)]
+        assert len(set(words)) > DICTIONARY_ENTRIES - 4
+        line = from_words32(words)
+        assert cpack.roundtrip(line) == line
+
+
+class TestSizes:
+    def test_token_bit_costs(self, cpack):
+        line = from_words32([0] * 16)
+        assert cpack.compress(line).size_bits == 32
+        # 8x cap: 512 bits / 32 bits minimum for all-zero
+        assert cpack.compress(line).ratio == pytest.approx(16.0)
+
+    def test_segments_rounding(self, cpack):
+        size = cpack.compress(bytes(LINE_SIZE))
+        assert size.size_bytes == 4
+        assert size.segments(8) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE))
+def test_cpack_roundtrip_property(data):
+    cpack = CPackCompressor()
+    assert cpack.roundtrip(data) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from([0, 1, 0xFF, 0xDEADBEEF, 0xDEADBE00,
+                                 0x12345678]),
+                min_size=16, max_size=16))
+def test_cpack_compressible_patterns_roundtrip(words):
+    cpack = CPackCompressor()
+    line = from_words32(words)
+    assert cpack.roundtrip(line) == line

@@ -1,0 +1,74 @@
+"""Tests for the FPC codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.words import LINE_SIZE, from_words32
+from repro.compression.fpc import FpcCompressor, MAX_ZERO_RUN
+
+
+@pytest.fixture
+def fpc():
+    return FpcCompressor()
+
+
+class TestPatterns:
+    def test_zero_runs_fold(self, fpc):
+        tokens = fpc.compress_tokens(bytes(LINE_SIZE))
+        # 16 zero words -> two runs of 8 (run length capped)
+        assert [t for t in tokens] == [("zero_run", MAX_ZERO_RUN)] * 2
+        assert fpc.compress(bytes(LINE_SIZE)).size_bits == 2 * (3 + 3)
+
+    def test_sign_extended_small(self, fpc):
+        line = from_words32([3] + [0] * 15)
+        assert fpc.compress_tokens(line)[0] == ("sign4", 3)
+
+    def test_sign_extended_negative(self, fpc):
+        minus_one = 0xFFFFFFFF
+        line = from_words32([minus_one] + [0] * 15)
+        assert fpc.compress_tokens(line)[0][0] == "sign4"
+
+    def test_sign8(self, fpc):
+        line = from_words32([100] + [0] * 15)
+        assert fpc.compress_tokens(line)[0][0] == "sign8"
+
+    def test_sign16(self, fpc):
+        line = from_words32([30000] + [0] * 15)
+        assert fpc.compress_tokens(line)[0][0] == "sign16"
+
+    def test_pad16(self, fpc):
+        line = from_words32([0xABCD0000] + [0] * 15)
+        assert fpc.compress_tokens(line)[0][0] == "pad16"
+
+    def test_repeated_bytes(self, fpc):
+        line = from_words32([0x5A5A5A5A] + [0] * 15)
+        assert fpc.compress_tokens(line)[0][0] == "repeat8"
+
+    def test_raw_fallback(self, fpc):
+        line = from_words32([0x12345678] + [0] * 15)
+        assert fpc.compress_tokens(line)[0][0] == "raw"
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("word", [
+        0, 1, 7, 0xFF, 0x7FFF, 0xFFFF8000, 0xABCD0000, 0x5A5A5A5A,
+        0x12345678, 0xFFFFFFFF, 0x00FF00FF,
+    ])
+    def test_single_patterns(self, fpc, word):
+        line = from_words32([word] * 16)
+        assert fpc.roundtrip(line) == line
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE))
+def test_fpc_roundtrip_property(data):
+    fpc = FpcCompressor()
+    assert fpc.roundtrip(data) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE))
+def test_fpc_never_worse_than_raw_plus_prefix(data):
+    """FPC's worst case is 3 prefix bits per 32-bit word."""
+    fpc = FpcCompressor()
+    assert fpc.compress(data).size_bits <= 16 * (3 + 32)

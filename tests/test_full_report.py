@@ -1,0 +1,31 @@
+"""Tests for the one-shot report generator."""
+
+from repro.experiments.full_report import generate
+
+
+class TestGenerate:
+    def test_fast_report_structure(self):
+        text = generate(benchmarks=["gcc"], n_instructions=10_000,
+                        include_slow=False)
+        for heading in ("# MORC reproduction", "## Table 1", "## Table 4",
+                        "## Figure 2", "## Figure 6", "## Figure 7",
+                        "## Figure 9", "## Figure 12", "## Figure 14",
+                        "## Figure 15"):
+            assert heading in text
+        # slow sections excluded
+        assert "## Figure 8" not in text
+        assert "## Ablations" not in text
+
+    def test_summary_bars_present(self):
+        text = generate(benchmarks=["gcc"], n_instructions=10_000,
+                        include_slow=False)
+        assert "mean compression ratio" in text
+        assert "#" in text  # bar glyphs
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+        output = tmp_path / "r.md"
+        assert main(["report", "-o", str(output), "-n", "8000",
+                     "-b", "gcc", "--fast"]) == 0
+        assert output.exists()
+        assert "## Table 4" in output.read_text()

@@ -1,0 +1,118 @@
+"""Tests for the Line-Map Table."""
+
+import pytest
+
+from repro.common.errors import CacheError
+from repro.morc.lmt import LineMapTable, LmtState
+
+
+class TestLookup:
+    def test_cold_lookup_misses(self):
+        lmt = LineMapTable(n_entries=8, ways=2)
+        entry, aliased = lmt.lookup(5)
+        assert entry is None
+        assert not aliased
+
+    def test_allocate_then_lookup(self):
+        lmt = LineMapTable(n_entries=8, ways=2)
+        entry, conflict = lmt.allocate(5)
+        assert conflict is None
+        entry.state = LmtState.VALID
+        entry.log_index = 3
+        found, aliased = lmt.lookup(5)
+        assert found is entry
+        assert not aliased
+
+    def test_aliased_miss(self):
+        """A valid entry for a conflicting address triggers a tag check
+        that then misses — the paper's 'LMT aliased-miss'."""
+        lmt = LineMapTable(n_entries=8, ways=2)
+        entry, _ = lmt.allocate(1)
+        entry.state = LmtState.VALID
+        found, aliased = lmt.lookup(1 + lmt.n_sets)  # same set, other line
+        assert found is None
+        assert aliased
+        assert lmt.stats.get("aliased_misses") == 1
+
+    def test_invalid_entries_do_not_alias(self):
+        lmt = LineMapTable(n_entries=8, ways=2)
+        lmt.allocate(1)  # left INVALID
+        _, aliased = lmt.lookup(1 + lmt.n_sets)
+        assert not aliased
+
+
+class TestAllocate:
+    def test_reuses_own_entry(self):
+        lmt = LineMapTable(n_entries=8, ways=2)
+        first, _ = lmt.allocate(5)
+        first.state = LmtState.VALID
+        second, conflict = lmt.allocate(5)
+        assert second is first
+        assert conflict is None
+
+    def test_second_way_used_before_conflict(self):
+        lmt = LineMapTable(n_entries=8, ways=2)
+        a, _ = lmt.allocate(0)
+        a.state = LmtState.VALID
+        b, conflict = lmt.allocate(lmt.n_sets)  # same set
+        assert conflict is None
+        assert b is not a
+
+    def test_conflict_evicts_lru_way(self):
+        lmt = LineMapTable(n_entries=8, ways=2)
+        a, _ = lmt.allocate(0)
+        a.state = LmtState.VALID
+        b, _ = lmt.allocate(lmt.n_sets)
+        b.state = LmtState.VALID
+        lmt.lookup(0)  # touch a
+        entry, conflict = lmt.allocate(2 * lmt.n_sets)
+        assert conflict is not None
+        assert conflict.line_address == lmt.n_sets  # b was LRU
+        assert entry is b
+        assert lmt.stats.get("conflict_evictions") == 1
+
+    def test_conflict_preserves_victim_contents(self):
+        lmt = LineMapTable(n_entries=4, ways=1)
+        a, _ = lmt.allocate(0)
+        a.state = LmtState.MODIFIED
+        a.log_index = 7
+        _, conflict = lmt.allocate(lmt.n_sets)
+        assert conflict.is_modified
+        assert conflict.log_index == 7
+
+    def test_release(self):
+        lmt = LineMapTable(n_entries=8, ways=2)
+        entry, _ = lmt.allocate(3)
+        entry.state = LmtState.VALID
+        lmt.release(entry)
+        assert lmt.lookup(3) == (None, False)
+        assert lmt.valid_count() == 0
+
+
+class TestUnlimited:
+    def test_never_conflicts(self):
+        lmt = LineMapTable(n_entries=0, ways=1, unlimited=True)
+        for address in range(1000):
+            entry, conflict = lmt.allocate(address)
+            entry.state = LmtState.VALID
+            assert conflict is None
+        assert lmt.valid_count() == 1000
+
+    def test_lookup_and_release(self):
+        lmt = LineMapTable(n_entries=0, ways=1, unlimited=True)
+        entry, _ = lmt.allocate(42)
+        entry.state = LmtState.VALID
+        found, _ = lmt.lookup(42)
+        assert found is entry
+        lmt.release(entry)
+        assert lmt.lookup(42) == (None, False)
+
+
+class TestValidation:
+    def test_rejects_indivisible(self):
+        with pytest.raises(CacheError):
+            LineMapTable(n_entries=7, ways=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CacheError):
+            LineMapTable(n_entries=0, ways=2)

@@ -1,0 +1,137 @@
+"""Tests for the LZ77 stream reference codec."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import CompressionError
+from repro.common.words import LINE_SIZE
+from repro.compression.lz import (
+    LITERAL_BITS,
+    LzHistory,
+    LzStreamCompressor,
+    MATCH_BITS,
+    MAX_MATCH,
+    MIN_MATCH,
+)
+
+
+@pytest.fixture
+def lz():
+    return LzStreamCompressor()
+
+
+def random_line(seed):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(LINE_SIZE))
+
+
+class TestCompress:
+    def test_cold_random_line_is_literals(self, lz):
+        compressed = lz.compress(random_line(0), LzHistory())
+        assert all(t[0] == "lit" for t in compressed.tokens)
+        assert compressed.size_bits == LINE_SIZE * LITERAL_BITS
+
+    def test_zero_line_self_matches(self, lz):
+        compressed = lz.compress(bytes(LINE_SIZE), LzHistory())
+        kinds = [t[0] for t in compressed.tokens]
+        assert kinds.count("match") >= 1
+        assert compressed.size_bits < LINE_SIZE * LITERAL_BITS / 4
+
+    def test_repeated_line_matches_history(self, lz):
+        history = LzHistory()
+        line = random_line(1)
+        lz.compress(line, history)
+        again = lz.compress(line, history)
+        # one or two long matches cover the whole 64 bytes
+        assert again.size_bits <= 2 * MATCH_BITS
+        assert all(t[0] == "match" for t in again.tokens)
+
+    def test_trial_does_not_mutate(self, lz):
+        history = LzHistory()
+        lz.compress(random_line(2), history, commit=False)
+        assert len(history) == 0
+
+    def test_commit_extends_history(self, lz):
+        history = LzHistory()
+        lz.compress(random_line(3), history)
+        assert len(history) == LINE_SIZE
+
+    def test_match_length_capped(self, lz):
+        history = LzHistory()
+        lz.compress(bytes(LINE_SIZE), history)
+        compressed = lz.compress(bytes(LINE_SIZE), history)
+        assert all(t[2] <= MAX_MATCH for t in compressed.tokens
+                   if t[0] == "match")
+
+    def test_rejects_short_line(self, lz):
+        with pytest.raises(ValueError):
+            lz.compress(b"abc", LzHistory())
+
+
+class TestDecompress:
+    def _roundtrip(self, lz, lines):
+        history = LzHistory()
+        stream = [lz.compress(line, history) for line in lines]
+        return lz.decompress(stream)
+
+    def test_stream_roundtrip(self, lz):
+        rng = random.Random(4)
+        pool = [bytes(rng.randrange(256) for _ in range(16))
+                for _ in range(4)]
+        lines = [b"".join(rng.choice(pool) for _ in range(4))
+                 for _ in range(15)]
+        assert self._roundtrip(lz, lines) == lines
+
+    def test_overlapping_match(self, lz):
+        """Runs compress via self-overlapping matches (offset < length)."""
+        line = bytes([7]) * LINE_SIZE
+        assert self._roundtrip(lz, [line]) == [line]
+
+    def test_upto(self, lz):
+        lines = [random_line(i) for i in range(5)]
+        history = LzHistory()
+        stream = [lz.compress(line, history) for line in lines]
+        assert lz.decompress(stream, upto=1) == lines[:2]
+
+    def test_bad_offset_detected(self, lz):
+        from repro.compression.lz import LzCompressedLine
+        bogus = LzCompressedLine((("match", 500, MIN_MATCH),))
+        with pytest.raises(CompressionError):
+            lz.decompress([bogus])
+
+
+class TestVsLbe:
+    def test_similar_on_pooled_data(self, lz):
+        """Paper §6: LZ as a drop-in for LBE compresses comparably."""
+        from repro.compression.lbe import LbeCompressor, LbeDictionary
+        rng = random.Random(5)
+        pool = [bytes(rng.randrange(256) for _ in range(32))
+                for _ in range(6)]
+        lines = [rng.choice(pool) + rng.choice(pool) for _ in range(40)]
+        lbe, lbe_dict = LbeCompressor(), LbeDictionary()
+        history = LzHistory()
+        lbe_bits = sum(lbe.compress(l, lbe_dict).size_bits for l in lines)
+        lz_bits = sum(lz.compress(l, history).size_bits for l in lines)
+        assert lz_bits < 3 * lbe_bits
+        assert lbe_bits < 3 * lz_bits
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE),
+                min_size=1, max_size=6))
+def test_lz_roundtrip_property(lines):
+    lz = LzStreamCompressor()
+    history = LzHistory()
+    stream = [lz.compress(line, history) for line in lines]
+    assert lz.decompress(stream) == lines
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_lz_never_exceeds_literal_cost(seed):
+    lz = LzStreamCompressor()
+    line = random_line(seed)
+    compressed = lz.compress(line, LzHistory())
+    assert compressed.size_bits <= LINE_SIZE * LITERAL_BITS

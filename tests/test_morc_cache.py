@@ -1,0 +1,305 @@
+"""Tests for the full MORC cache (paper §3.1 operations)."""
+
+import random
+
+import pytest
+
+from repro.common.config import MorcConfig
+from repro.common.errors import CacheError
+from repro.morc.cache import MorcCache
+
+
+def small_cache(**overrides):
+    defaults = dict(n_active_logs=2, lmt_overprovision=8, lmt_ways=2)
+    defaults.update(overrides)
+    return MorcCache(8 * 1024, config=MorcConfig(**defaults))
+
+
+def line(byte):
+    return bytes([byte]) * 64
+
+
+def random_line(seed):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+class TestReadFill:
+    def test_cold_miss(self):
+        cache = small_cache()
+        result = cache.read(0)
+        assert not result.hit
+        assert result.latency_cycles == 14
+
+    def test_fill_then_hit(self):
+        cache = small_cache()
+        cache.fill(0, line(1))
+        result = cache.read(0)
+        assert result.hit
+        assert result.data == line(1)
+
+    def test_hit_latency_grows_with_position(self):
+        cache = small_cache(n_active_logs=1)
+        for i in range(6):
+            cache.fill(i * 64, line(i))
+        early = cache.read(0).latency_cycles
+        late = cache.read(5 * 64).latency_cycles
+        assert late > early
+
+    def test_hit_latency_formula(self):
+        cache = small_cache(n_active_logs=1)
+        cache.fill(0, line(1))
+        # position 0: 14 base + ceil(1/8) tag + ceil(64/16) data = 19
+        assert cache.read(0).latency_cycles == 14 + 1 + 4
+
+    def test_latency_histogram_populated(self):
+        cache = small_cache()
+        cache.fill(0, line(1))
+        cache.read(0)
+        assert cache.latency_bytes_histogram[64] == 1
+
+    def test_compression_ratio_counts_valid(self):
+        cache = small_cache()
+        for i in range(16):
+            cache.fill(i * 64, bytes(64))  # zero lines, hugely compressible
+        assert cache.compression_ratio() == pytest.approx(16 / 128)
+
+    def test_contains(self):
+        cache = small_cache()
+        cache.fill(0, line(1))
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+
+class TestWriteback:
+    def test_writeback_supersedes(self):
+        cache = small_cache()
+        cache.fill(0, line(1))
+        cache.writeback(0, line(2))
+        assert cache.read(0).data == line(2)
+        assert cache.stats.get("superseded_lines") == 1
+        assert cache.invalid_fraction() > 0
+
+    def test_writeback_to_absent_line_allocates(self):
+        """Non-inclusive LLC: write-backs may arrive for absent lines."""
+        cache = small_cache()
+        cache.writeback(0, line(3))
+        assert cache.read(0).data == line(3)
+
+    def test_modified_state_survives_flush_to_memory(self):
+        cache = small_cache(n_active_logs=1, log_size_bytes=512)
+        cache.writeback(0, random_line(0))
+        # Force every log to be recycled by filling with incompressible data.
+        writebacks = []
+        for i in range(1, 400):
+            result = cache.fill(i * 64, random_line(i))
+            writebacks.extend(result.writebacks)
+        assert any(address == 0 for address, _ in writebacks)
+
+    def test_clean_lines_are_dropped_silently(self):
+        cache = small_cache(n_active_logs=1)
+        cache.fill(0, random_line(0))
+        writebacks = []
+        for i in range(1, 400):
+            writebacks.extend(cache.fill(i * 64, random_line(i)).writebacks)
+        assert not any(address == 0 for address, _ in writebacks)
+
+
+class TestLogLifecycle:
+    def test_logs_close_and_recycle(self):
+        cache = small_cache()
+        for i in range(600):
+            cache.fill(i * 64, random_line(i))
+        assert cache.stats.get("log_closures") > 0
+        assert cache.stats.get("log_flushes") > 0
+
+    def test_dead_log_reuse_skips_flush(self):
+        """A closed log whose lines were all superseded is reused without
+        a flush (paper §3.2.1)."""
+        cache = small_cache(n_active_logs=1)
+        n_lines = 6
+        for i in range(n_lines):
+            cache.fill(i * 64, random_line(i))
+        # Supersede everything via write-backs until the first log closes.
+        for round_number in range(1, 40):
+            for i in range(n_lines):
+                cache.writeback(i * 64, random_line(1000 + i + round_number))
+            if cache.stats.get("log_reuses") > 0:
+                break
+        assert cache.stats.get("log_reuses") > 0
+
+    def test_flush_releases_lmt_entries(self):
+        cache = small_cache(n_active_logs=1)
+        for i in range(400):
+            cache.fill(i * 64, random_line(i))
+        # Flushed lines must be true misses now.
+        assert not cache.contains(0)
+
+    def test_capacity_never_exceeded(self):
+        cache = small_cache()
+        for i in range(500):
+            cache.fill(i * 64, bytes(64))
+        for log in cache.logs:
+            used = log.data_bits_used + (log.tag_bits_used if log.merged
+                                         else 0)
+            assert used <= log.data_capacity_bits
+            if log.tag_capacity_bits is not None and not log.merged:
+                assert log.tag_bits_used <= log.tag_capacity_bits
+
+    def test_needs_enough_logs_for_active_set(self):
+        with pytest.raises(CacheError):
+            MorcCache(512, config=MorcConfig(n_active_logs=8))
+
+    def test_capacity_must_divide_into_logs(self):
+        with pytest.raises(CacheError):
+            MorcCache(8 * 1024 + 17, config=MorcConfig())
+
+
+class TestLmtIntegration:
+    def test_conflict_eviction_writes_back_dirty(self):
+        cache = small_cache(lmt_overprovision=1, lmt_ways=1)
+        n_sets = cache.lmt.n_sets
+        cache.writeback(0, line(1))  # modified
+        result = cache.fill(n_sets * 64, line(2))  # LMT conflict with 0
+        assert (0, line(1)) in result.writebacks
+        assert not cache.contains(0)
+        assert cache.stats.get("lmt_conflict_evictions") == 1
+
+    def test_conflict_eviction_drops_clean(self):
+        cache = small_cache(lmt_overprovision=1, lmt_ways=1)
+        n_sets = cache.lmt.n_sets
+        cache.fill(0, line(1))
+        result = cache.fill(n_sets * 64, line(2))
+        assert result.writebacks == []
+        assert not cache.contains(0)
+
+    def test_aliased_miss_reported(self):
+        cache = small_cache(lmt_overprovision=1, lmt_ways=1)
+        n_sets = cache.lmt.n_sets
+        cache.fill(0, line(1))
+        result = cache.read(n_sets * 64)
+        assert not result.hit
+        assert result.aliased_miss
+
+    def test_unlimited_metadata_has_no_conflicts(self):
+        cache = small_cache(unlimited_metadata=True)
+        for i in range(300):
+            cache.fill(i * 64, bytes(64))
+        assert cache.stats.get("lmt_conflict_evictions") == 0
+
+
+class TestCompressionDisabled:
+    def test_uncompressed_lines_cost_full_size(self):
+        cache = MorcCache(8 * 1024, config=MorcConfig(n_active_logs=2),
+                          compression_enabled=False)
+        for i in range(200):
+            cache.fill(i * 64, bytes(64))
+        # 512B logs hold at most 8 raw lines minus tag space.
+        for log in cache.logs:
+            assert log.n_entries <= 8
+        assert cache.compression_ratio() <= 1.0
+
+    def test_invalid_fraction_tracks_writebacks(self):
+        cache = MorcCache(8 * 1024, config=MorcConfig(n_active_logs=2),
+                          compression_enabled=False)
+        for i in range(8):
+            cache.fill(i * 64, line(i))
+        for i in range(8):
+            cache.writeback(i * 64, line(100 + i))
+        assert cache.invalid_fraction() == pytest.approx(0.5)
+
+
+class TestMerged:
+    def test_merged_name(self):
+        cache = MorcCache(8 * 1024,
+                          config=MorcConfig(n_active_logs=2,
+                                            merged_tags=True))
+        assert cache.name == "MORCMerged"
+
+    def test_merged_shares_log_space(self):
+        cache = MorcCache(8 * 1024,
+                          config=MorcConfig(n_active_logs=2,
+                                            merged_tags=True))
+        for i in range(300):
+            cache.fill(i * 64, bytes(64))
+        for log in cache.logs:
+            assert (log.data_bits_used + log.tag_bits_used
+                    <= log.data_capacity_bits)
+
+    def test_merged_roughly_tracks_split(self):
+        split = small_cache()
+        merged = MorcCache(8 * 1024,
+                           config=MorcConfig(n_active_logs=2,
+                                             merged_tags=True))
+        for i in range(400):
+            data = random_line(i % 40)
+            split.fill(i * 64, data)
+            merged.fill(i * 64, data)
+        assert merged.compression_ratio() == pytest.approx(
+            split.compression_ratio(), rel=0.5)
+
+
+class TestConfigurableOptions:
+    def test_parallel_tag_access_is_faster(self):
+        serial = small_cache()
+        parallel = MorcCache(8 * 1024, config=MorcConfig(
+            n_active_logs=2, parallel_tag_access=True))
+        for i in range(6):
+            serial.fill(i * 64, line(i))
+            parallel.fill(i * 64, line(i))
+        assert (parallel.read(5 * 64).latency_cycles
+                < serial.read(5 * 64).latency_cycles)
+
+    def test_lru_log_replacement_protects_hot_logs(self):
+        """Under LRU, a recently-read log survives victim selection."""
+        for replacement in ("fifo", "lru"):
+            cache = MorcCache(4 * 1024, config=MorcConfig(
+                n_active_logs=1, log_size_bytes=512,
+                log_replacement=replacement))
+            # Fill enough incompressible lines to recycle logs, touching
+            # the first-filled lines continuously.
+            rng = random.Random(0)
+            hot = 0
+            for i in range(400):
+                cache.fill((i + 1) * 64, random_line(i))
+                if cache.contains(hot * 64):
+                    cache.read(hot * 64)
+            assert cache.stats.get("log_flushes") > 0
+
+    def test_lru_and_fifo_both_run_clean(self):
+        for replacement in ("fifo", "lru"):
+            cache = MorcCache(4 * 1024, config=MorcConfig(
+                n_active_logs=2, log_size_bytes=256,
+                log_replacement=replacement))
+            for i in range(300):
+                cache.fill(i * 64, random_line(i))
+            assert cache.compression_ratio() >= 0
+
+    def test_invalid_replacement_rejected(self):
+        with pytest.raises(Exception):
+            MorcConfig(log_replacement="random")
+
+
+class TestDataIntegrity:
+    def test_log_streams_decompress_to_stored_lines(self):
+        """End-to-end: every log's LBE stream replays to its entries'
+        data — the cache's bit-accounting corresponds to real symbols."""
+        from repro.compression.lbe import LbeCompressor
+        cache = small_cache()
+        rng = random.Random(7)
+        pool = [bytes(rng.randrange(256) for _ in range(16))
+                for _ in range(4)]
+        for i in range(120):
+            data = b"".join(rng.choice(pool) for _ in range(4))
+            cache.fill(i * 64, data)
+        lbe = LbeCompressor()
+        checked = 0
+        for log in cache.logs:
+            if not log.entries:
+                continue
+            stream = [e.compressed for e in log.entries]
+            decoded = lbe.decompress(stream)
+            for entry, data in zip(log.entries, decoded):
+                assert entry.data == data
+                checked += 1
+        assert checked >= 120

@@ -1,0 +1,140 @@
+"""Tests for the MORC log structure."""
+
+import pytest
+
+from repro.common.errors import CacheError
+from repro.morc.log import Log
+
+
+def make_log(capacity_bits=4096, tag_bits=672, merged=False):
+    return Log(index=0, data_capacity_bits=capacity_bits,
+               tag_capacity_bits=tag_bits, merged=merged)
+
+
+def line(byte):
+    return bytes([byte]) * 64
+
+
+class TestAppend:
+    def test_positions_are_sequential(self):
+        log = make_log()
+        entries = [log.append(i, line(i), 100, 10) for i in range(5)]
+        assert [e.position for e in entries] == [0, 1, 2, 3, 4]
+        assert log.n_entries == 5
+        assert log.valid_count == 5
+
+    def test_accounting(self):
+        log = make_log()
+        log.append(0, line(0), 100, 10)
+        log.append(1, line(1), 50, 8)
+        assert log.data_bits_used == 150
+        assert log.tag_bits_used == 18
+
+    def test_fits_respects_data_capacity(self):
+        log = make_log(capacity_bits=200, tag_bits=None)
+        assert log.fits(200, 0)
+        log.append(0, line(0), 150, 0)
+        assert not log.fits(51, 0)
+        assert log.fits(50, 0)
+
+    def test_fits_respects_tag_capacity(self):
+        log = make_log(tag_bits=20)
+        assert log.fits(10, 20)
+        assert not log.fits(10, 21)
+
+    def test_unlimited_tags(self):
+        log = make_log(tag_bits=None)
+        assert log.fits(10, 10_000)
+
+    def test_merged_shares_capacity(self):
+        log = make_log(capacity_bits=100, tag_bits=None, merged=True)
+        assert log.fits(60, 40)
+        assert not log.fits(60, 41)
+        log.append(0, line(0), 60, 40)
+        assert not log.fits(1, 0)
+
+    def test_overflow_raises(self):
+        log = make_log(capacity_bits=100, tag_bits=None)
+        with pytest.raises(CacheError):
+            log.append(0, line(0), 101, 0)
+
+    def test_append_to_closed_raises(self):
+        log = make_log()
+        log.closed = True
+        with pytest.raises(CacheError):
+            log.append(0, line(0), 10, 1)
+
+    def test_output_bytes_through(self):
+        log = make_log()
+        entries = [log.append(i, line(i), 10, 1) for i in range(3)]
+        assert [e.output_bytes_through for e in entries] == [64, 128, 192]
+
+    def test_log_index_recorded(self):
+        log = make_log()
+        assert log.append(0, line(0), 10, 1).log_index == 0
+
+
+class TestInvalidate:
+    def test_invalidate_decrements(self):
+        log = make_log()
+        entry = log.append(0, line(0), 10, 1)
+        log.invalidate(entry)
+        assert not entry.valid
+        assert log.valid_count == 0
+
+    def test_double_invalidate_is_idempotent(self):
+        log = make_log()
+        entry = log.append(0, line(0), 10, 1)
+        log.invalidate(entry)
+        log.invalidate(entry)
+        assert log.valid_count == 0
+
+    def test_all_invalid(self):
+        log = make_log()
+        assert not log.all_invalid  # empty log is not "all invalid"
+        entries = [log.append(i, line(i), 10, 1) for i in range(2)]
+        assert not log.all_invalid
+        for entry in entries:
+            log.invalidate(entry)
+        assert log.all_invalid
+
+    def test_valid_entries(self):
+        log = make_log()
+        a = log.append(0, line(0), 10, 1)
+        b = log.append(1, line(1), 10, 1)
+        log.invalidate(a)
+        assert log.valid_entries() == [b]
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        log = make_log()
+        log.append(0, line(0), 10, 1)
+        log.dictionary.insert(b"\x01\x02\x03\x04")
+        log.closed = True
+        generation = log.generation
+        log.reset()
+        assert log.n_entries == 0
+        assert log.data_bits_used == 0
+        assert log.tag_bits_used == 0
+        assert not log.closed
+        assert log.generation == generation + 1
+        assert log.dictionary.entry_count(4) == 0
+
+    def test_reset_preserves_tag_bases_config(self):
+        log = make_log()
+        log.tag_stream.n_bases = 2
+        log.reset()
+        assert log.tag_stream.n_bases == 2
+
+
+class TestUtilization:
+    def test_split_counts_data_only(self):
+        log = make_log(capacity_bits=100, tag_bits=50)
+        log.append(0, line(0), 50, 10)
+        assert log.utilization == pytest.approx(0.5)
+
+    def test_merged_counts_tags(self):
+        log = make_log(capacity_bits=100, tag_bits=None, merged=True)
+        log.append(0, line(0), 50, 10)
+        assert log.utilization == pytest.approx(0.6)

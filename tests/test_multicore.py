@@ -1,0 +1,82 @@
+"""Tests for the general multi-core system."""
+
+import pytest
+
+from repro.cache.set_assoc import UncompressedCache
+from repro.common.config import CacheGeometry, MemoryConfig, SystemConfig
+from repro.common.errors import ConfigError
+from repro.mem.controller import MemoryChannel
+from repro.sim.multicore import MultiCoreSystem
+from repro.workloads.spec import make_trace
+
+
+def make_system(n_threads=2, llc_bytes=16 * 1024):
+    config = SystemConfig()
+    llc = UncompressedCache(CacheGeometry(llc_bytes, ways=8))
+    memory = MemoryChannel(MemoryConfig(bandwidth_bytes_per_sec=400e6))
+    return MultiCoreSystem(llc, memory, config, n_threads=n_threads)
+
+
+class TestMultiCoreSystem:
+    def test_runs_two_threads(self):
+        system = make_system(2)
+        traces = [make_trace("gcc", 5_000, seed_offset=i)
+                  for i in range(2)]
+        result = system.run(traces)
+        assert len(result.per_thread) == 2
+        assert all(m.instructions >= 5_000 * 0.9
+                   for m in result.per_thread)
+        assert result.completion_cycles > 0
+
+    def test_trace_count_must_match(self):
+        system = make_system(2)
+        with pytest.raises(ConfigError):
+            system.run([make_trace("gcc", 1_000)])
+
+    def test_rejects_zero_threads(self):
+        config = SystemConfig()
+        llc = UncompressedCache(CacheGeometry(4096, ways=8))
+        with pytest.raises(ConfigError):
+            MultiCoreSystem(llc, MemoryChannel(config.memory),
+                            config, n_threads=0)
+
+    def test_warmup_subtracts(self):
+        system = make_system(2)
+        traces = [make_trace("gcc", 10_000, seed_offset=i)
+                  for i in range(2)]
+        result = system.run(traces, warmup_instructions=5_000)
+        # measured region only: instructions roughly halved
+        for metrics in result.per_thread:
+            assert metrics.instructions <= 6_000
+            assert metrics.cycles > 0
+            assert metrics.instructions > 0
+
+    def test_shared_channel_creates_interference(self):
+        """Two threads through one channel are slower per thread than one
+        thread alone (FCFS contention)."""
+        solo = make_system(1)
+        solo_result = solo.run([make_trace("mcf", 4_000)])
+        pair = make_system(2)
+        pair_result = pair.run([make_trace("mcf", 4_000, seed_offset=i)
+                                for i in range(2)])
+        solo_cycles = solo_result.per_thread[0].cycles
+        paired_cycles = max(m.cycles for m in pair_result.per_thread)
+        assert paired_cycles > solo_cycles * 0.9
+
+    def test_heterogeneous_traces(self):
+        system = make_system(3)
+        traces = [make_trace("gcc", 4_000),
+                  make_trace("hmmer", 4_000),
+                  make_trace("mcf", 4_000)]
+        result = system.run(traces)
+        # hmmer (gap 50) should take fewer memory accesses
+        gcc_m, hmmer_m, mcf_m = result.per_thread
+        assert hmmer_m.l1_accesses < mcf_m.l1_accesses
+
+    def test_aggregates(self):
+        system = make_system(2)
+        result = system.run([make_trace("gcc", 3_000, seed_offset=i)
+                             for i in range(2)])
+        assert result.total_instructions == sum(
+            m.instructions for m in result.per_thread)
+        assert result.total_offchip_bytes >= 0

@@ -1,0 +1,118 @@
+"""Tests for the Figure 2 oracle limit models."""
+
+import random
+
+import pytest
+
+from repro.compression.oracle import OracleCache, significance_bytes
+from repro.common.words import from_words32
+
+
+def line_from(words):
+    return from_words32(list(words))
+
+
+class TestSignificance:
+    @pytest.mark.parametrize("word,size", [
+        (0, 0), (1, 1), (0xFF, 1), (0x100, 2), (0xFFFF, 2),
+        (0x10000, 3), (0x1000000, 4), (0xFFFFFFFF, 4),
+    ])
+    def test_sizes(self, word, size):
+        assert significance_bytes(word) == size
+
+
+class TestIntraOracle:
+    def test_zero_line_costs_nothing(self):
+        cache = OracleCache(size_bytes=1024, inter=False)
+        cache.access(0, bytes(64), is_write=False)
+        # Zero words cost 0 bytes; many such lines fit in one set.
+        for i in range(50):
+            cache.access(i * 64, bytes(64), is_write=False)
+        assert cache.resident_lines == 50
+
+    def test_intra_dedup_within_line(self):
+        cache = OracleCache(size_bytes=1024, inter=False)
+        repeated = line_from([0xAABBCCDD] * 16)
+        cache.access(0, repeated, is_write=False)
+        line = cache._sets[0].lines[0]
+        assert line.charged_bytes == 4  # one distinct 4-byte word
+
+    def test_intra_no_cross_line_dedup(self):
+        cache = OracleCache(size_bytes=1024, inter=False)
+        data = line_from([0xAABBCCDD] * 16)
+        cache.access(0, data, is_write=False)
+        cache.access(64 * 16, data, is_write=False)  # lands in set 0 too
+        total = sum(l.charged_bytes
+                    for s in cache._sets for l in s.lines.values())
+        assert total == 8  # each line pays its own 4 bytes
+
+
+class TestInterOracle:
+    def test_cross_line_dedup(self):
+        cache = OracleCache(size_bytes=1024, inter=True)
+        data = line_from([0xAABBCCDD] * 16)
+        cache.access(0, data, is_write=False)
+        second_line = 16  # same set (16 sets -> stride 16 lines)
+        cache.access(64 * second_line, data, is_write=False)
+        charged = [l.charged_bytes
+                   for s in cache._sets for l in s.lines.values()]
+        assert sorted(charged) == [0, 4]
+
+    def test_eviction_releases_pool(self):
+        cache = OracleCache(size_bytes=1024, inter=True)
+        data = line_from([0x11223344] * 16)
+        cache.access(0, data, is_write=False)
+        cache._release(cache._sets[0].pop_lru())
+        assert cache._pool.get(0x11223344, 0) == 0
+
+    def test_inter_beats_intra(self):
+        rng = random.Random(0)
+        pool = [rng.randrange(1 << 31, 1 << 32) for _ in range(64)]
+        intra = OracleCache(size_bytes=8 * 1024, inter=False)
+        inter = OracleCache(size_bytes=8 * 1024, inter=True)
+        for i in range(400):
+            data = line_from(rng.choice(pool) for _ in range(16))
+            intra.access(i * 64, data, is_write=False)
+            inter.access(i * 64, data, is_write=False)
+        assert inter.compression_ratio() > intra.compression_ratio()
+
+
+class TestCacheBehaviour:
+    def test_uncompressed_mode(self):
+        cache = OracleCache(size_bytes=1024, compress=False)
+        for i in range(16):  # one set holds 8 x 64B
+            cache.access(i * 16 * 64, bytes(64), is_write=False)
+        # every access maps to set 0 (stride = n_sets lines)
+        assert cache.resident_lines <= 8
+
+    def test_hit_and_miss_counting(self):
+        cache = OracleCache(size_bytes=1024)
+        assert not cache.access(0, bytes(64), is_write=False)
+        assert cache.access(0, bytes(64), is_write=False)
+        assert cache.stats.get("hits") == 1
+        assert cache.stats.get("misses") == 1
+
+    def test_lru_eviction(self):
+        cache = OracleCache(size_bytes=1024, compress=False)
+        stride = cache.n_sets * 64
+        for i in range(9):  # 9 full-size lines in an 8-line set
+            cache.access(i * stride, bytes(64), is_write=False)
+        assert cache.stats.get("evictions") == 1
+        assert 0 not in cache._sets[0].lines
+
+    def test_write_recosts_line(self):
+        cache = OracleCache(size_bytes=1024, inter=False)
+        cache.access(0, line_from([0xDEADBEEF] * 16), is_write=False)
+        cache.access(0, bytes(64), is_write=True)
+        line = cache._sets[0].lines[0]
+        assert line.charged_bytes == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            OracleCache(size_bytes=1000)
+
+    def test_compression_ratio_definition(self):
+        cache = OracleCache(size_bytes=1024)
+        for i in range(32):
+            cache.access(i * 64, bytes(64), is_write=False)
+        assert cache.compression_ratio() == pytest.approx(32 / 16)

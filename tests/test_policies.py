@@ -1,0 +1,95 @@
+"""Tests for multi-log placement (paper §3.2.3)."""
+
+from repro.morc.log import Log
+from repro.morc.policies import PlacementCandidate, choose_log
+
+
+def make_log(index, capacity_bits=4096, used_bits=0):
+    log = Log(index=index, data_capacity_bits=capacity_bits,
+              tag_capacity_bits=None)
+    if used_bits:
+        log.append(0, bytes(64), used_bits, 0)
+    return log
+
+
+def candidate(log, data_bits, tag_bits=10):
+    return PlacementCandidate(log=log, data_bits=data_bits,
+                              tag_bits=tag_bits)
+
+
+class TestChooseLog:
+    def test_clear_winner(self):
+        logs = [make_log(0), make_log(1)]
+        choice = choose_log([candidate(logs[0], 500),
+                             candidate(logs[1], 50)])
+        assert choice.log is logs[1]
+
+    def test_tag_bits_do_not_drive_choice(self):
+        """Tag-stream warm-up must not attract every line to one log."""
+        logs = [make_log(0), make_log(1)]
+        choice = choose_log([candidate(logs[0], 500, tag_bits=8),
+                             candidate(logs[1], 50, tag_bits=49)])
+        assert choice.log is logs[1]
+
+    def test_fudge_routes_ties_to_least_used(self):
+        emptier = make_log(0)
+        fuller = make_log(1, used_bits=2000)
+        choice = choose_log([candidate(fuller, 100),
+                             candidate(emptier, 100)])
+        assert choice.log is emptier
+
+    def test_fudge_threshold(self):
+        emptier = make_log(0)
+        fuller = make_log(1, used_bits=2000)
+        # 4% spread: within the default 5% fudge -> least-used wins
+        choice = choose_log([candidate(fuller, 96),
+                             candidate(emptier, 100)])
+        assert choice.log is emptier
+        # 20% spread: outside the fudge -> best compression wins
+        choice = choose_log([candidate(fuller, 80),
+                             candidate(emptier, 100)])
+        assert choice.log is fuller
+
+    def test_non_fitting_candidates_skipped(self):
+        tiny = make_log(0, capacity_bits=100, used_bits=90)
+        roomy = make_log(1)
+        choice = choose_log([candidate(tiny, 20),
+                             candidate(roomy, 400)])
+        assert choice.log is roomy
+
+    def test_none_when_nothing_fits(self):
+        tiny_a = make_log(0, capacity_bits=100, used_bits=95)
+        tiny_b = make_log(1, capacity_bits=100, used_bits=99)
+        assert choose_log([candidate(tiny_a, 50),
+                           candidate(tiny_b, 50)]) is None
+
+    def test_zero_fudge_always_picks_best(self):
+        emptier = make_log(0)
+        fuller = make_log(1, used_bits=2000)
+        choice = choose_log([candidate(fuller, 99),
+                             candidate(emptier, 100)], fudge_factor=0.0)
+        assert choice.log is fuller
+
+    def test_all_zero_bits(self):
+        logs = [make_log(0), make_log(1)]
+        choice = choose_log([candidate(logs[0], 0, tag_bits=0),
+                             candidate(logs[1], 0, tag_bits=0)])
+        assert choice is not None
+
+    def test_closed_log_never_chosen(self):
+        closed = make_log(0)
+        closed.closed = True
+        open_log = make_log(1)
+        choice = choose_log([candidate(closed, 10),
+                             candidate(open_log, 500)])
+        assert choice.log is open_log
+
+
+class TestPlacementCandidate:
+    def test_total_bits(self):
+        assert candidate(make_log(0), 100, tag_bits=11).total_bits == 111
+
+    def test_fits_delegates_to_log(self):
+        log = make_log(0, capacity_bits=100)
+        assert candidate(log, 90, tag_bits=5).fits
+        assert not candidate(log, 101, tag_bits=5).fits

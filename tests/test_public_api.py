@@ -1,0 +1,44 @@
+"""The package's public surface stays importable and coherent."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_scheme_lists(self):
+        assert "MORC" in repro.ALL_SCHEMES
+        assert "Uncompressed" in repro.ALL_SCHEMES
+        assert set(repro.COMPRESSED_SCHEMES) <= set(repro.ALL_SCHEMES)
+
+    def test_single_program_list(self):
+        assert "gcc" in repro.ALL_SINGLE_PROGRAMS
+        assert "gcc_8" in repro.ALL_SINGLE_PROGRAMS
+        assert len(repro.ALL_SINGLE_PROGRAMS) >= 50
+
+    def test_make_trace_export(self):
+        trace = repro.make_trace("astar", 1_000)
+        assert trace.name == "astar"
+
+    def test_config_exports(self):
+        config = repro.SystemConfig()
+        assert isinstance(config.morc, repro.MorcConfig)
+
+    def test_subpackage_inits(self):
+        import repro.cache
+        import repro.common
+        import repro.compression
+        import repro.experiments
+        import repro.mem
+        import repro.morc
+        import repro.sim
+        import repro.workloads
+        assert repro.cache.L1Cache
+        assert repro.compression.LbeCompressor
+        assert repro.morc.MorcCache
+        assert repro.workloads.make_trace

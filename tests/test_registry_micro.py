@@ -1,0 +1,105 @@
+"""Tests for the codec registry and the canonical microbenchmarks."""
+
+import random
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.compression.registry import (
+    ALL_CODECS,
+    compare_codecs,
+    make_codec,
+    measure_stream,
+)
+from repro.mem.controller import MemoryChannel
+from repro.sim.core import CoreSimulator
+from repro.sim.system import make_llc
+from repro.workloads.micro import (
+    MICROBENCHMARKS,
+    all_micro_traces,
+    make_micro_trace,
+)
+
+
+class TestRegistry:
+    def test_make_codec(self):
+        for name in ("cpack", "fpc", "bdi"):
+            codec = make_codec(name)
+            assert codec.compress(bytes(64)).size_bits > 0
+
+    def test_make_codec_unknown(self):
+        with pytest.raises(KeyError):
+            make_codec("zstd")
+
+    def test_measure_stream_unknown(self):
+        with pytest.raises(KeyError):
+            measure_stream("gzip", [bytes(64)])
+
+    def test_compare_empty(self):
+        table = compare_codecs([])
+        assert all(v == 0.0 for v in table.values())
+
+    def test_compare_all_codecs_on_zero_lines(self):
+        table = compare_codecs([bytes(64)] * 10)
+        assert set(table) == set(ALL_CODECS)
+        # Every codec crushes zero lines well below raw size.
+        for name, bits in table.items():
+            assert bits < 256, name
+
+    def test_stream_codecs_win_on_interline_duplication(self):
+        rng = random.Random(0)
+        pool = [bytes(rng.randrange(256) for _ in range(32))
+                for _ in range(4)]
+        lines = [rng.choice(pool) + rng.choice(pool) for _ in range(30)]
+        table = compare_codecs(lines)
+        assert table["lbe"] < table["cpack"] / 3
+        assert table["lz"] < table["cpack"] / 3
+
+    def test_bdi_wins_on_clustered_values(self):
+        base = 1 << 40
+        lines = [b"".join((base + i * 64 + j).to_bytes(8, "big")
+                          for j in range(8)) for i in range(20)]
+        table = compare_codecs(lines, codecs=("bdi", "fpc"))
+        assert table["bdi"] < table["fpc"]
+
+
+class TestMicrobenchmarks:
+    def test_all_build(self):
+        traces = all_micro_traces(5_000)
+        assert set(traces) == set(MICROBENCHMARKS)
+        for trace in traces.values():
+            assert sum(1 + r.gap for r in trace) >= 5_000
+
+    def test_unknown_micro(self):
+        with pytest.raises(KeyError):
+            make_micro_trace("fibonacci")
+
+    def _run(self, name, scheme="MORC", n=20_000):
+        config = SystemConfig()
+        llc = make_llc(scheme, config)
+        core = CoreSimulator(llc, MemoryChannel(config.memory), config)
+        metrics = core.run(make_micro_trace(name, n))
+        return llc, metrics
+
+    def test_stream_misses_everything(self):
+        llc, metrics = self._run("stream")
+        assert metrics.llc_hits < 0.05 * metrics.l1_misses
+
+    def test_hot_loop_hits_in_l1(self):
+        _, metrics = self._run("hot_loop")
+        assert metrics.l1_misses < 0.2 * metrics.l1_accesses
+
+    def test_memset_compresses_maximally(self):
+        llc, _ = self._run("memset")
+        stats = llc.stats
+        mean_bits = (stats.get("compressed_data_bits")
+                     / max(1, stats.get("compressions")))
+        assert mean_bits == pytest.approx(10.0)  # two z256 symbols
+
+    def test_random_incompressible_stays_near_1x(self):
+        llc, _ = self._run("random_incompressible")
+        assert llc.compression_ratio() < 1.15
+
+    def test_producer_consumer_creates_dead_lines(self):
+        llc, _ = self._run("producer_consumer")
+        assert llc.invalid_fraction() > 0.02

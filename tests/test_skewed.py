@@ -1,0 +1,130 @@
+"""Tests for the Skewed Compressed Cache baseline."""
+
+import random
+
+import pytest
+
+from repro.cache.skewed import (
+    SIZE_CLASSES,
+    SkewedCompressedCache,
+    size_class,
+)
+from repro.common.config import CacheGeometry
+
+
+def make_cache(size_bytes=8 * 1024, ways=8):
+    return SkewedCompressedCache(CacheGeometry(size_bytes, ways=ways))
+
+
+def line(byte):
+    return bytes([byte]) * 64
+
+
+def random_line(seed):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(1, 256) for _ in range(64))
+
+
+class TestSizeClass:
+    @pytest.mark.parametrize("size,expected", [
+        (4, 8), (8, 8), (9, 4), (16, 4), (17, 2), (32, 2), (33, 1),
+        (64, 1),
+    ])
+    def test_classes(self, size, expected):
+        assert size_class(size) == expected
+
+    def test_classes_are_valid(self):
+        for size in range(1, 65):
+            assert size_class(size) in SIZE_CLASSES
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.read(0).hit
+        cache.fill(0, line(1))
+        result = cache.read(0)
+        assert result.hit
+        assert result.data == line(1)
+        assert result.latency_cycles == 14 + 4
+
+    def test_superblock_packing(self):
+        """Four zero lines of a superblock share one 64B entry."""
+        cache = make_cache()
+        for i in range(4):
+            cache.fill(i * 64, bytes(64))
+        located = {cache._locate(i)[0].superblock for i in range(4)}
+        assert located == {0}
+        entry = cache._locate(0)[0]
+        assert len(entry.lines) == 4
+
+    def test_compression_ratio_beyond_one(self):
+        cache = make_cache(size_bytes=2048)
+        for i in range(64):
+            cache.fill(i * 64, bytes(64))
+        assert cache.compression_ratio() > 1.0
+
+    def test_incompressible_lines_cap_at_one_per_entry(self):
+        cache = make_cache(size_bytes=2048)
+        for i in range(64):
+            cache.fill(i * 64, random_line(i))
+        assert cache.compression_ratio() <= 1.0
+
+    def test_dirty_eviction_writes_back(self):
+        cache = make_cache(size_bytes=512, ways=2)  # 8 entries
+        cache.writeback(0, random_line(0))
+        writebacks = []
+        for i in range(1, 64):
+            writebacks.extend(
+                cache.fill(i * 64, random_line(i)).writebacks)
+        assert any(address == 0 for address, _ in writebacks)
+
+    def test_update_in_place(self):
+        cache = make_cache()
+        cache.fill(0, bytes(64))
+        cache.writeback(0, line(3))
+        assert cache.read(0).data == line(3)
+        # only one copy resident
+        assert sum(1 for way in cache._ways for entry in way
+                   for la in entry.lines if la == 0) == 1
+
+    def test_class_migration_on_growth(self):
+        """A line that stops compressing migrates to a sparser class."""
+        cache = make_cache()
+        cache.fill(0, bytes(64))            # class 8
+        cache.writeback(0, random_line(1))  # incompressible -> class 1
+        found = cache._locate(0)
+        assert found is not None
+        assert found[0].blocks == 1
+
+    def test_skewed_indexing_differs_across_ways(self):
+        cache = make_cache()
+        indices = {cache._index(way, superblock=12345, blocks=2)
+                   for way in range(8)}
+        assert len(indices) > 1
+
+    def test_stats(self):
+        cache = make_cache()
+        cache.fill(0, bytes(64))
+        cache.read(0)
+        cache.read(64 * 999)
+        assert cache.stats.get("read_hits") == 1
+        assert cache.stats.get("read_misses") == 1
+        assert cache.stats.get("compressions") == 1
+
+
+class TestVersusDecoupled:
+    def test_comparable_to_decoupled_on_compressible_data(self):
+        """Paper §6: SCC performs like Decoupled."""
+        from repro.cache.set_assoc import DecoupledCache
+        geometry = CacheGeometry(4 * 1024, ways=8)
+        skewed = SkewedCompressedCache(geometry)
+        decoupled = DecoupledCache(geometry)
+        rng = random.Random(0)
+        for i in range(600):
+            address = rng.randrange(256) * 64
+            data = bytes(64) if rng.random() < 0.6 else random_line(i)
+            skewed.fill(address, data)
+            decoupled.fill(address, data)
+        assert skewed.compression_ratio() == pytest.approx(
+            decoupled.compression_ratio(), rel=0.5)

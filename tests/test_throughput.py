@@ -1,0 +1,84 @@
+"""Tests for the coarse-grain multithreading throughput model."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics
+from repro.sim.throughput import (
+    coarse_grain_throughput,
+    ipc_improvement,
+    throughput_improvement,
+)
+
+
+def metrics(instructions, miss_latencies):
+    m = RunMetrics()
+    m.instructions = instructions
+    m.cycles = instructions + sum(miss_latencies)
+    m.miss_latencies = list(miss_latencies)
+    m.l1_misses = len(miss_latencies)
+    return m
+
+
+class TestCoarseGrainThroughput:
+    def test_no_misses_is_compute_ipc(self):
+        m = metrics(1000, [])
+        assert coarse_grain_throughput(m) == pytest.approx(1.0)
+
+    def test_fully_hidden_miss(self):
+        """A miss shorter than three inter-miss gaps costs nothing."""
+        # one miss after a gap of 100, latency 250 < 3*100
+        m = metrics(100, [250.0])
+        # total = max(4*100, 100+250) = 400 cycles for 4*100 instructions
+        assert coarse_grain_throughput(m, threads=4) == pytest.approx(1.0)
+
+    def test_exposed_miss_stalls(self):
+        m = metrics(100, [1000.0])
+        # total = max(400, 1100) = 1100 for 400 instructions
+        assert coarse_grain_throughput(m, threads=4) == pytest.approx(
+            400 / 1100)
+
+    def test_threads_extend_hiding(self):
+        m = metrics(100, [500.0])
+        two = coarse_grain_throughput(m, threads=2)
+        eight = coarse_grain_throughput(m, threads=8)
+        # 8 threads hide 500 cycles behind 7 gaps; 2 threads cannot.
+        assert eight == pytest.approx(1.0)
+        assert two < 1.0
+
+    def test_mixed_latencies(self):
+        m = metrics(200, [100.0, 2000.0])  # gap = 100
+        total = max(400, 100 + 100) + max(400, 100 + 2000)
+        assert coarse_grain_throughput(m, 4) == pytest.approx(
+            4 * 200 / total)
+
+    def test_zero_cycles(self):
+        assert coarse_grain_throughput(RunMetrics()) == 0.0
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            coarse_grain_throughput(RunMetrics(), threads=0)
+
+
+class TestImprovements:
+    def test_throughput_improvement_sign(self):
+        slow = metrics(100, [5000.0])
+        fast = metrics(100, [100.0])
+        assert throughput_improvement(fast, slow) > 0
+        assert throughput_improvement(slow, fast) < 0
+
+    def test_identical_runs_zero(self):
+        m = metrics(100, [500.0])
+        assert throughput_improvement(m, m) == pytest.approx(0.0)
+
+    def test_ipc_improvement(self):
+        base = metrics(100, [900.0])   # ipc = 100/1000
+        better = metrics(100, [400.0])  # ipc = 100/500
+        assert ipc_improvement(better, base) == pytest.approx(100.0)
+
+    def test_latency_hiding_beats_ipc_for_long_hits(self):
+        """MT erases latency penalties that IPC pays — the paper's reason
+        MORC gains more throughput than IPC."""
+        base = metrics(1000, [14.0] * 10)       # short hits, gap 100
+        morc = metrics(1000, [250.0] * 10)      # long (hidden) hits
+        assert ipc_improvement(morc, base) < 0
+        assert throughput_improvement(morc, base) == pytest.approx(0.0)

@@ -1,0 +1,106 @@
+"""Tests for trace file I/O."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads.io import (
+    FileTrace,
+    iter_trace,
+    read_trace,
+    roundtrip_equal,
+    write_trace,
+)
+from repro.workloads.spec import make_trace
+from repro.workloads.trace import TraceRecord
+
+
+@pytest.fixture
+def small_trace():
+    return list(make_trace("gcc", 3_000))
+
+
+class TestRoundtrip:
+    def test_plain_file(self, tmp_path, small_trace):
+        path = tmp_path / "gcc.trc"
+        count = write_trace(path, small_trace)
+        assert count == len(small_trace)
+        assert read_trace(path) == small_trace
+
+    def test_gzip_file(self, tmp_path, small_trace):
+        path = tmp_path / "gcc.trc.gz"
+        write_trace(path, small_trace)
+        assert read_trace(path) == small_trace
+
+    def test_gzip_smaller_than_plain(self, tmp_path, small_trace):
+        plain = tmp_path / "t.trc"
+        packed = tmp_path / "t.trc.gz"
+        write_trace(plain, small_trace)
+        write_trace(packed, small_trace)
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trc"
+        assert write_trace(path, []) == 0
+        assert read_trace(path) == []
+
+    def test_roundtrip_equal_helper(self, tmp_path, small_trace):
+        path = tmp_path / "t.trc"
+        write_trace(path, small_trace)
+        assert roundtrip_equal(small_trace, iter_trace(path))
+        assert not roundtrip_equal(small_trace[:-1], iter_trace(path))
+
+
+class TestFileTrace:
+    def test_replays_like_synthetic(self, tmp_path, small_trace):
+        path = tmp_path / "gcc.trc"
+        write_trace(path, small_trace)
+        trace = FileTrace(path)
+        assert trace.estimated_records() == len(small_trace)
+        assert list(trace) == small_trace
+        assert list(trace) == small_trace  # restartable
+
+    def test_drives_a_simulation(self, tmp_path, small_trace):
+        from repro.common.config import SystemConfig
+        from repro.mem.controller import MemoryChannel
+        from repro.sim.core import CoreSimulator
+        from repro.sim.system import make_llc
+        path = tmp_path / "gcc.trc"
+        write_trace(path, small_trace)
+        config = SystemConfig()
+        core = CoreSimulator(make_llc("MORC", config),
+                             MemoryChannel(config.memory), config)
+        metrics = core.run(FileTrace(path))
+        assert metrics.instructions > 0
+
+    def test_name_from_stem(self, tmp_path, small_trace):
+        path = tmp_path / "mybench.trc"
+        write_trace(path, small_trace)
+        assert FileTrace(path).name == "mybench"
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_bytes(b"NOTATRACE" + bytes(16))
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.trc"
+        path.write_bytes(b"MO")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_truncated_record(self, tmp_path, small_trace):
+        path = tmp_path / "cut.trc"
+        write_trace(path, small_trace)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_wrong_line_size_rejected(self, tmp_path):
+        record = TraceRecord(address=0, is_write=False, gap=0,
+                             data=b"short")
+        with pytest.raises(TraceError):
+            write_trace(tmp_path / "x.trc", [record])

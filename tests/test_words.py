@@ -1,0 +1,69 @@
+"""Tests for cache-line word utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import words
+
+
+class TestCheckLine:
+    def test_accepts_64_bytes(self):
+        line = bytes(64)
+        assert words.check_line(line) == line
+
+    def test_accepts_bytearray(self):
+        assert isinstance(words.check_line(bytearray(64)), bytes)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            words.check_line(bytes(63))
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            words.check_line([0] * 64)
+
+
+class TestWords32:
+    def test_roundtrip(self):
+        line = bytes(range(64))
+        assert words.from_words32(words.words32(line)) == line
+
+    def test_count(self):
+        assert len(words.words32(bytes(64))) == 16
+
+    def test_big_endian(self):
+        line = b"\x01\x02\x03\x04" + bytes(60)
+        assert words.words32(line)[0] == 0x01020304
+
+
+class TestLeadingZeroBytes:
+    @pytest.mark.parametrize("word,expected", [
+        (0, 4), (1, 3), (0xFF, 3), (0x100, 2), (0xFFFF, 2),
+        (0x10000, 1), (0xFFFFFF, 1), (0x1000000, 0), (0xFFFFFFFF, 0),
+    ])
+    def test_values(self, word, expected):
+        assert words.leading_zero_bytes(word) == expected
+
+
+class TestChunks:
+    def test_sizes(self):
+        line = bytes(64)
+        for size in words.GRANULARITIES:
+            pieces = list(words.chunks(line, size))
+            assert len(pieces) == 64 // size
+            assert all(len(p) == size for p in pieces)
+
+    def test_reassembles(self):
+        line = bytes(range(64))
+        assert b"".join(words.chunks(line, 16)) == line
+
+
+def test_is_zero():
+    assert words.is_zero(bytes(64))
+    assert not words.is_zero(b"\x00" * 63 + b"\x01")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                min_size=16, max_size=16))
+def test_words_roundtrip_property(values):
+    assert words.words32(words.from_words32(values)) == values
