@@ -1,0 +1,246 @@
+"""Performance-trajectory harness: kernel and end-to-end speedups.
+
+Times the optimised compression kernels against their reference
+implementations (``repro.perf.reference``) and one end-to-end figure run
+in two configurations — serial with fast paths off versus parallel with
+fast paths on — then writes the measurements to ``BENCH_perf.json``.
+
+Every optimisation is bit-exact (enforced by
+``tests/test_perf_equivalence.py``), so these numbers are pure speed:
+
+    python benchmarks/bench_perf.py --quick     # CI-friendly, <60s
+    python benchmarks/bench_perf.py             # full trajectory
+
+The end-to-end legs run in subprocesses so ``REPRO_FAST``/``REPRO_JOBS``
+are set before any module import; the parallel leg uses every core, so
+the reported speedup compounds kernel gains with the process-pool
+fan-out on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.common.bitio import BitWriter                   # noqa: E402
+from repro.compression.cpack import CPackCompressor        # noqa: E402
+from repro.compression.fpc import FpcCompressor            # noqa: E402
+from repro.compression.lbe import LbeCompressor, LbeDictionary  # noqa: E402
+from repro.perf.corpus import mixed_stream                 # noqa: E402
+from repro.perf.fastpath import set_fast_paths             # noqa: E402
+from repro.perf.reference import (                         # noqa: E402
+    ReferenceBitWriter,
+    reference_cpack_bits,
+    reference_fpc_bits,
+    reference_lbe_measure,
+)
+
+#: active logs trialled per fill in the MORC cache (morc/cache.py)
+TRIAL_LOGS = 8
+
+
+def _timeit(fn, repeats: int = 3) -> float:
+    """Best-of-N wall clock of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _trial_dictionaries(lines) -> list:
+    """Dictionaries shaped like the cache's active logs mid-run: the
+    lines are striped across them so each holds a partial view."""
+    compressor = LbeCompressor()
+    dictionaries = [LbeDictionary() for _ in range(TRIAL_LOGS)]
+    for index, line in enumerate(lines):
+        compressor.compress(line, dictionaries[index % TRIAL_LOGS],
+                            commit=True)
+    return dictionaries
+
+
+def bench_lbe_measure(lines) -> dict:
+    """The dominant hot path: trial placement measures every line
+    against every active log's dictionary (8 measures per fill)."""
+    dictionaries = _trial_dictionaries(lines)
+    compressor = LbeCompressor()
+
+    def reference() -> None:
+        for line in lines:
+            for dictionary in dictionaries:
+                reference_lbe_measure(line, dictionary)
+
+    def fast() -> None:
+        for line in lines:
+            for dictionary in dictionaries:
+                compressor.measure(line, dictionary)
+
+    reference_s = _timeit(reference)
+    previous = set_fast_paths(True)
+    try:
+        fast()  # warm the per-dictionary memos once, as a live run would
+        fast_s = _timeit(fast)
+    finally:
+        set_fast_paths(previous)
+    return {"reference_s": reference_s, "fast_s": fast_s,
+            "speedup": reference_s / fast_s if fast_s else float("inf")}
+
+
+def bench_line_codec(lines, compressor, reference_bits) -> dict:
+    def reference() -> None:
+        for line in lines:
+            reference_bits(line)
+
+    def fast() -> None:
+        for line in lines:
+            compressor.compress(line)
+
+    reference_s = _timeit(reference)
+    previous = set_fast_paths(True)
+    try:
+        fast()
+        fast_s = _timeit(fast)
+    finally:
+        set_fast_paths(previous)
+    return {"reference_s": reference_s, "fast_s": fast_s,
+            "speedup": reference_s / fast_s if fast_s else float("inf")}
+
+
+def bench_bitio(n_fields: int) -> dict:
+    """Many small writes — the shape every codec produces."""
+
+    def run_writer(writer_cls) -> None:
+        writer = writer_cls()
+        for index in range(n_fields):
+            writer.write(index & 0x1F, 7)
+        writer.to_bytes()
+
+    reference_s = _timeit(lambda: run_writer(ReferenceBitWriter))
+    fast_s = _timeit(lambda: run_writer(BitWriter))
+    return {"reference_s": reference_s, "fast_s": fast_s,
+            "speedup": reference_s / fast_s if fast_s else float("inf")}
+
+
+_END_TO_END_SNIPPET = """\
+import json, sys, time
+sys.path.insert(0, {src!r})
+from repro.experiments import figure6, parallel
+started = time.perf_counter()
+result = figure6.run(benchmarks={benchmarks!r},
+                     n_instructions={n_instructions},
+                     schemes={schemes!r})
+elapsed = time.perf_counter() - started
+ratios = {{scheme: [round(r.compression_ratio, 6) for r in runs]
+          for scheme, runs in result.runs.items()}}
+print(json.dumps({{"elapsed_s": elapsed, "ratios": ratios,
+                  "cells": len(parallel.last_timings())}}))
+"""
+
+
+def _end_to_end_leg(benchmarks, n_instructions, schemes, fast: bool,
+                    jobs: int) -> dict:
+    env = dict(os.environ)
+    env["REPRO_FAST"] = "1" if fast else "0"
+    env["REPRO_JOBS"] = str(jobs)
+    snippet = _END_TO_END_SNIPPET.format(
+        src=str(SRC), benchmarks=list(benchmarks),
+        n_instructions=n_instructions, schemes=tuple(schemes))
+    output = subprocess.run(
+        [sys.executable, "-c", snippet], env=env, check=True,
+        capture_output=True, text=True).stdout
+    return json.loads(output.strip().splitlines()[-1])
+
+
+def bench_end_to_end(benchmarks, n_instructions, schemes) -> dict:
+    """Before (serial, reference kernels) vs after (pool, fast kernels)."""
+    jobs = max(1, os.cpu_count() or 1)
+    before = _end_to_end_leg(benchmarks, n_instructions, schemes,
+                             fast=False, jobs=1)
+    after = _end_to_end_leg(benchmarks, n_instructions, schemes,
+                            fast=True, jobs=jobs)
+    if before["ratios"] != after["ratios"]:
+        raise AssertionError("end-to-end legs diverged: optimisations "
+                             "must be bit-exact")
+    return {
+        "benchmarks": list(benchmarks),
+        "schemes": list(schemes),
+        "n_instructions": n_instructions,
+        "cells": after["cells"],
+        "jobs": jobs,
+        "serial_reference_s": before["elapsed_s"],
+        "parallel_fast_s": after["elapsed_s"],
+        "speedup": before["elapsed_s"] / after["elapsed_s"],
+        "bit_exact": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized corpora and grid (<60s)")
+    parser.add_argument("-o", "--output",
+                        default=str(REPO_ROOT / "BENCH_perf.json"),
+                        help="where to write the JSON trajectory")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        corpus = mixed_stream(200)
+        bitio_fields = 50_000
+        grid = dict(benchmarks=("gcc", "hmmer"), n_instructions=15_000,
+                    schemes=("Uncompressed", "MORC"))
+    else:
+        corpus = mixed_stream(1_000)
+        bitio_fields = 200_000
+        # MORC-family schemes: every cell exercises the optimised
+        # kernels, so the single-core leg shows the kernel gains and the
+        # pool multiplies them on multi-core hosts (12 cells).
+        grid = dict(benchmarks=("gcc", "hmmer", "mcf", "soplex"),
+                    n_instructions=60_000,
+                    schemes=("MORC", "MORCMerged", "MORC-CPack"))
+
+    print(f"kernel corpora: {len(corpus)} lines"
+          f" ({'quick' if args.quick else 'full'} mode)")
+    kernels = {}
+    kernels["lbe_measure_trial_placement"] = bench_lbe_measure(corpus)
+    kernels["cpack_compress"] = bench_line_codec(
+        corpus, CPackCompressor(), reference_cpack_bits)
+    kernels["fpc_compress"] = bench_line_codec(
+        corpus, FpcCompressor(), reference_fpc_bits)
+    kernels["bitwriter"] = bench_bitio(bitio_fields)
+    for name, numbers in kernels.items():
+        print(f"  {name:32s} {numbers['reference_s']:.3f}s -> "
+              f"{numbers['fast_s']:.3f}s  ({numbers['speedup']:.2f}x)")
+
+    print(f"end-to-end figure6 grid: {grid['benchmarks']} x "
+          f"{grid['schemes']} @ {grid['n_instructions']} instructions")
+    end_to_end = bench_end_to_end(**grid)
+    print(f"  serial+reference {end_to_end['serial_reference_s']:.2f}s -> "
+          f"parallel({end_to_end['jobs']})+fast "
+          f"{end_to_end['parallel_fast_s']:.2f}s  "
+          f"({end_to_end['speedup']:.2f}x, bit-exact)")
+
+    payload = {
+        "mode": "quick" if args.quick else "full",
+        "host_cpus": os.cpu_count(),
+        "kernels": kernels,
+        "end_to_end": end_to_end,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,14 @@ are measured bit-accurately rather than estimated.
 
 Bits are stored most-significant-first within the stream, which matches how
 the paper's prefix codes (Table 2 and Table 3) are written out.
+
+``BitWriter`` batches writes: incoming fields accumulate into a bounded
+Python int and spill into a chunk list once the accumulator passes
+``_SPILL_BITS``.  Appending to an unbounded int costs O(stream length)
+per write (the whole big int is copied); with spilling, each write only
+shifts the small accumulator, and the chunks are folded together once in
+:meth:`BitWriter.getvalue`.  The emitted stream is bit-identical to the
+naive writer (see ``repro.perf.reference.ReferenceBitWriter``).
 """
 
 from __future__ import annotations
@@ -17,8 +25,17 @@ from repro.common.errors import CompressionError
 class BitWriter:
     """Accumulates bits most-significant-first into a growable buffer."""
 
+    __slots__ = ("_chunks", "_acc", "_acc_bits", "_length")
+
+    #: accumulator size (bits) at which a chunk is spilled; large enough
+    #: that per-line symbol streams never spill, small enough that long
+    #: streams (whole-log Huffman) avoid quadratic big-int appends
+    _SPILL_BITS = 4096
+
     def __init__(self) -> None:
-        self._value = 0
+        self._chunks: list[tuple[int, int]] = []
+        self._acc = 0
+        self._acc_bits = 0
         self._length = 0
 
     def __len__(self) -> int:
@@ -40,8 +57,13 @@ class BitWriter:
             raise CompressionError(
                 f"value {value} does not fit in {width} bits"
             )
-        self._value = (self._value << width) | value
+        self._acc = (self._acc << width) | value
+        self._acc_bits += width
         self._length += width
+        if self._acc_bits >= self._SPILL_BITS:
+            self._chunks.append((self._acc, self._acc_bits))
+            self._acc = 0
+            self._acc_bits = 0
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
@@ -49,23 +71,41 @@ class BitWriter:
 
     def extend(self, other: "BitWriter") -> None:
         """Append all bits from another writer."""
-        self._value = (self._value << other._length) | other._value
-        self._length += other._length
+        value, length = other.getvalue()
+        if length == 0:
+            return
+        # Spill the local accumulator, then adopt the other stream as one
+        # pre-packed chunk; relative bit order is unchanged.
+        if self._acc_bits:
+            self._chunks.append((self._acc, self._acc_bits))
+            self._acc = 0
+            self._acc_bits = 0
+        self._chunks.append((value, length))
+        self._length += length
 
     def getvalue(self) -> tuple[int, int]:
         """Return ``(packed_int, bit_length)`` for the whole stream."""
-        return self._value, self._length
+        if not self._chunks:
+            return self._acc, self._length
+        value = 0
+        for chunk_value, chunk_bits in self._chunks:
+            value = (value << chunk_bits) | chunk_value
+        value = (value << self._acc_bits) | self._acc
+        return value, self._length
 
     def to_bytes(self) -> bytes:
         """Pack the stream into bytes, padding the final byte with zeros."""
         if self._length == 0:
             return b""
-        pad = (-self._length) % 8
-        return (self._value << pad).to_bytes((self._length + pad) // 8, "big")
+        value, length = self.getvalue()
+        pad = (-length) % 8
+        return (value << pad).to_bytes((length + pad) // 8, "big")
 
 
 class BitReader:
     """Reads bits most-significant-first from a packed stream."""
+
+    __slots__ = ("_value", "_length", "_pos")
 
     def __init__(self, value: int, bit_length: int) -> None:
         if bit_length < 0:
@@ -105,7 +145,7 @@ class BitReader:
         """Consume and return ``width`` bits as an unsigned integer."""
         if width < 0:
             raise CompressionError(f"negative bit width: {width}")
-        if width > self.remaining:
+        if width > self._length - self._pos:
             raise CompressionError(
                 f"bitstream underflow: wanted {width}, have {self.remaining}"
             )

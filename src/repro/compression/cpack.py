@@ -18,34 +18,63 @@ Words that do not match in full (``xxxx``, ``mmxx``, ``mmmx``) are pushed
 into the dictionary.  The dictionary holds 16 entries (64 bytes) and is
 FIFO-replaced; the paper notes the fixed 4-bit pointer per 32-bit word
 caps C-Pack's ratio at 8x.
+
+The dictionary resets every line, so a line's encoding depends only on
+its content; :meth:`CPackCompressor.compress` exploits that with a
+content-keyed LRU memo (gated by ``REPRO_FAST``), which pays off on the
+zero- and duplicate-heavy workloads where the same lines refill the
+cache repeatedly.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
+from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CompressionError
-from repro.common.words import check_line, from_words32, words32
+from repro.common.words import LINE_SIZE, check_line, from_words32, words32
 from repro.compression.base import CompressedSize, IntraLineCompressor
+from repro.perf.fastpath import fast_paths_enabled
 
 DICTIONARY_ENTRIES = 16
 POINTER_BITS = 4
 
-#: token kind -> encoded size in bits
-_TOKEN_BITS = {
-    "zzzz": 2,
-    "xxxx": 2 + 32,
-    "mmmm": 2 + POINTER_BITS,
-    "mmxx": 4 + POINTER_BITS + 16,
-    "zzzx": 4 + 8,
-    "mmmx": 4 + POINTER_BITS + 8,
+#: pattern code -> (prefix value, prefix width in bits)
+PREFIX_CODES: Dict[str, Tuple[int, int]] = {
+    "zzzz": (0b00, 2),
+    "xxxx": (0b01, 2),
+    "mmmm": (0b10, 2),
+    "mmxx": (0b1100, 4),
+    "zzzx": (0b1101, 4),
+    "mmmx": (0b1110, 4),
 }
+
+#: pattern code -> payload bits after the prefix (pointer + literal)
+_PAYLOAD_BITS: Dict[str, int] = {
+    "zzzz": 0,
+    "xxxx": 32,
+    "mmmm": POINTER_BITS,
+    "mmxx": POINTER_BITS + 16,
+    "zzzx": 8,
+    "mmmx": POINTER_BITS + 8,
+}
+
+#: token kind -> total encoded size in bits (prefix + payload)
+_TOKEN_BITS: Dict[str, int] = {
+    kind: width + _PAYLOAD_BITS[kind]
+    for kind, (_, width) in PREFIX_CODES.items()
+}
+
+#: content-keyed memo capacity for per-line encoded sizes
+_MEMO_ENTRIES = 4096
 
 Token = Tuple  # (kind, *payload)
 
 
 class _FifoDictionary:
     """16-entry FIFO dictionary of 32-bit words."""
+
+    __slots__ = ("_entries", "_next")
 
     def __init__(self) -> None:
         self._entries: List[int] = []
@@ -89,6 +118,9 @@ class CPackCompressor(IntraLineCompressor):
     """Per-line C-Pack codec."""
 
     name = "cpack"
+
+    def __init__(self) -> None:
+        self._memo: Dict[bytes, int] = {}
 
     def compress_tokens(self, line: bytes) -> List[Token]:
         """Encode ``line`` into C-Pack tokens (dictionary reset per line)."""
@@ -148,6 +180,77 @@ class CPackCompressor(IntraLineCompressor):
         return from_words32(words)
 
     def compress(self, line: bytes) -> CompressedSize:
-        """Exact encoded size of ``line`` in bits."""
-        bits = sum(_TOKEN_BITS[token[0]] for token in self.compress_tokens(line))
+        """Exact encoded size of ``line`` in bits.
+
+        The per-line dictionary reset makes the size a pure function of
+        content, so repeated lines are answered from an LRU memo when
+        the fast paths are enabled.
+        """
+        if not fast_paths_enabled():
+            return CompressedSize(sum(
+                _TOKEN_BITS[token[0]]
+                for token in self.compress_tokens(line)))
+        line = check_line(line)
+        memo = self._memo
+        bits = memo.get(line)
+        if bits is not None:
+            del memo[line]
+            memo[line] = bits  # LRU refresh
+            return CompressedSize(bits)
+        bits = sum(_TOKEN_BITS[token[0]]
+                   for token in self.compress_tokens(line))
+        if len(memo) >= _MEMO_ENTRIES:
+            del memo[next(iter(memo))]
+        memo[line] = bits
         return CompressedSize(bits)
+
+    # -- exact bit-stream serialisation ---------------------------------
+
+    @staticmethod
+    def to_bitstream(tokens: List[Token]) -> BitWriter:
+        """Serialise a token stream to its exact bit encoding."""
+        writer = BitWriter()
+        for token in tokens:
+            kind = token[0]
+            prefix, width = PREFIX_CODES[kind]
+            writer.write(prefix, width)
+            if kind == "xxxx":
+                writer.write(token[1], 32)
+            elif kind == "mmmm":
+                writer.write(token[1], POINTER_BITS)
+            elif kind == "mmxx":
+                writer.write(token[1], POINTER_BITS)
+                writer.write(token[2], 16)
+            elif kind == "zzzx":
+                writer.write(token[1], 8)
+            elif kind == "mmmx":
+                writer.write(token[1], POINTER_BITS)
+                writer.write(token[2], 8)
+        return writer
+
+    @staticmethod
+    def from_bitstream(reader: BitReader) -> List[Token]:
+        """Parse one line's worth (16 words) of tokens from a bit stream."""
+        tokens: List[Token] = []
+        while len(tokens) < LINE_SIZE // 4:
+            code = reader.read(2)
+            if code == 0b00:
+                tokens.append(("zzzz",))
+            elif code == 0b01:
+                tokens.append(("xxxx", reader.read(32)))
+            elif code == 0b10:
+                tokens.append(("mmmm", reader.read(POINTER_BITS)))
+            else:
+                code = (code << 2) | reader.read(2)
+                if code == 0b1100:
+                    tokens.append(("mmxx", reader.read(POINTER_BITS),
+                                   reader.read(16)))
+                elif code == 0b1101:
+                    tokens.append(("zzzx", reader.read(8)))
+                elif code == 0b1110:
+                    tokens.append(("mmmx", reader.read(POINTER_BITS),
+                                   reader.read(8)))
+                else:
+                    raise CompressionError(
+                        "unrecognised C-Pack prefix code 1111")
+        return tokens

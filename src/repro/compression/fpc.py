@@ -19,20 +19,38 @@ code  pattern                                  payload bits
 110   word of repeated bytes                   8
 111   uncompressed                             32
 ====  =======================================  ============
+
+Like C-Pack, FPC has no cross-line state, so the encoded size is a pure
+function of line content; :meth:`FpcCompressor.compress` memoises it per
+instance behind the ``REPRO_FAST`` gate.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
+from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CompressionError
 from repro.common.words import check_line, from_words32, words32
 from repro.compression.base import CompressedSize, IntraLineCompressor
+from repro.perf.fastpath import fast_paths_enabled
 
 PREFIX_BITS = 3
 MAX_ZERO_RUN = 8
 
 Token = Tuple
+
+#: token kind -> (prefix value, prefix width); order matches the table
+PREFIX_CODES: Dict[str, Tuple[int, int]] = {
+    "zero_run": (0b000, PREFIX_BITS),
+    "sign4": (0b001, PREFIX_BITS),
+    "sign8": (0b010, PREFIX_BITS),
+    "sign16": (0b011, PREFIX_BITS),
+    "pad16": (0b100, PREFIX_BITS),
+    "halfword_bytes": (0b101, PREFIX_BITS),
+    "repeat8": (0b110, PREFIX_BITS),
+    "raw": (0b111, PREFIX_BITS),
+}
 
 _PAYLOAD_BITS = {
     "zero_run": 3,
@@ -44,6 +62,18 @@ _PAYLOAD_BITS = {
     "repeat8": 8,
     "raw": 32,
 }
+
+#: token kind -> total encoded size in bits (prefix + payload)
+_TOKEN_BITS: Dict[str, int] = {
+    kind: width + _PAYLOAD_BITS[kind]
+    for kind, (_, width) in PREFIX_CODES.items()
+}
+
+#: prefix value -> token kind, for bit-stream parsing
+_KIND_FOR_PREFIX = {code: kind for kind, (code, _) in PREFIX_CODES.items()}
+
+#: content-keyed memo capacity for per-line encoded sizes
+_MEMO_ENTRIES = 4096
 
 
 def _sign_extends(word: int, bits: int) -> bool:
@@ -67,6 +97,9 @@ class FpcCompressor(IntraLineCompressor):
     """Per-line FPC codec with zero-run folding."""
 
     name = "fpc"
+
+    def __init__(self) -> None:
+        self._memo: Dict[bytes, int] = {}
 
     def compress_tokens(self, line: bytes) -> List[Token]:
         line = check_line(line)
@@ -134,9 +167,62 @@ class FpcCompressor(IntraLineCompressor):
         return from_words32(words)
 
     def compress(self, line: bytes) -> CompressedSize:
-        bits = sum(PREFIX_BITS + _PAYLOAD_BITS[token[0]]
+        """Exact encoded size of ``line`` in bits (memoised under
+        ``REPRO_FAST`` since FPC keeps no cross-line state)."""
+        if not fast_paths_enabled():
+            return CompressedSize(sum(
+                _TOKEN_BITS[token[0]]
+                for token in self.compress_tokens(line)))
+        line = check_line(line)
+        memo = self._memo
+        bits = memo.get(line)
+        if bits is not None:
+            del memo[line]
+            memo[line] = bits  # LRU refresh
+            return CompressedSize(bits)
+        bits = sum(_TOKEN_BITS[token[0]]
                    for token in self.compress_tokens(line))
+        if len(memo) >= _MEMO_ENTRIES:
+            del memo[next(iter(memo))]
+        memo[line] = bits
         return CompressedSize(bits)
+
+    # -- exact bit-stream serialisation ---------------------------------
+
+    @staticmethod
+    def to_bitstream(tokens: List[Token]) -> BitWriter:
+        """Serialise a token stream to its exact bit encoding.
+
+        The zero-run payload stores ``run - 1`` so runs of 1-8 fit the
+        3-bit field.
+        """
+        writer = BitWriter()
+        for token in tokens:
+            kind = token[0]
+            prefix, width = PREFIX_CODES[kind]
+            writer.write(prefix, width)
+            payload = token[1] - 1 if kind == "zero_run" else token[1]
+            writer.write(payload, _PAYLOAD_BITS[kind])
+        return writer
+
+    @staticmethod
+    def from_bitstream(reader: BitReader) -> List[Token]:
+        """Parse tokens until 16 words' worth have been recovered."""
+        tokens: List[Token] = []
+        words = 0
+        while words < 16:
+            kind = _KIND_FOR_PREFIX[reader.read(PREFIX_BITS)]
+            payload = reader.read(_PAYLOAD_BITS[kind])
+            if kind == "zero_run":
+                payload += 1
+                words += payload
+            else:
+                words += 1
+            tokens.append((kind, payload))
+        if words != 16:
+            raise CompressionError(
+                f"FPC bit stream decoded to {words} words")
+        return tokens
 
 
 def _sign_extends_16(half: int, bits: int) -> bool:

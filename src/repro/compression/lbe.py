@@ -37,7 +37,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CompressionError
-from repro.common.words import LINE_SIZE, check_line
+from repro.common.words import LINE_SIZE, ZERO_LINE, check_line
+from repro.perf.fastpath import fast_paths_enabled
 
 CHUNK_BYTES = 32
 """LBE reads input in 256-bit chunks."""
@@ -74,8 +75,27 @@ _SIZE_FOR_KIND = {
 
 _LITERAL_BITS = {"u8": 8, "u16": 16, "u32": 32}
 
+#: kind -> exact encoded width (prefix + pointer or literal payload);
+#: every Table 3 symbol's size depends only on its kind, so the hot
+#: paths use this table instead of recomputing prefix/payload sums
+_SYMBOL_BITS: Dict[str, int] = {}
+for _kind, (_prefix, _width) in PREFIX_CODES.items():
+    if _kind.startswith("m"):
+        _SYMBOL_BITS[_kind] = _width + POINTER_BITS[_SIZE_FOR_KIND[_kind]]
+    elif _kind.startswith("u"):
+        _SYMBOL_BITS[_kind] = _width + _LITERAL_BITS[_kind]
+    else:
+        _SYMBOL_BITS[_kind] = _width
+del _kind, _prefix, _width
 
-@dataclass(frozen=True)
+#: aligned all-zero blocks per granularity, for fast zero tests
+_Z4, _Z8, _Z16, _Z32 = bytes(4), bytes(8), bytes(16), bytes(32)
+
+#: per-dictionary measure-memo capacity (content-keyed LRU)
+_MEASURE_MEMO_ENTRIES = 512
+
+
+@dataclass(frozen=True, slots=True)
 class Symbol:
     """One LBE output symbol.
 
@@ -101,12 +121,7 @@ class Symbol:
     @property
     def size_bits(self) -> int:
         """Exact encoded width: prefix + pointer or literal payload."""
-        _, prefix_bits = PREFIX_CODES[self.kind]
-        if self.kind.startswith("m"):
-            return prefix_bits + POINTER_BITS[self.data_bytes]
-        if self.kind.startswith("u"):
-            return prefix_bits + _LITERAL_BITS[self.kind]
-        return prefix_bits
+        return _SYMBOL_BITS[self.kind]
 
 
 class LbeDictionary:
@@ -116,11 +131,14 @@ class LbeDictionary:
     capacity is reached (the C-Pack discipline the paper builds on).
     """
 
-    __slots__ = ("_maps", "_values")
+    __slots__ = ("_maps", "_values", "_memo")
 
     def __init__(self) -> None:
         self._maps: Dict[int, Dict[bytes, int]] = {g: {} for g in DICT_CAPACITY}
         self._values: Dict[int, List[bytes]] = {g: [] for g in DICT_CAPACITY}
+        # Content-keyed LRU of measure() results; any successful insert
+        # changes what later lines can match, so it must invalidate.
+        self._memo: Dict[bytes, int] = {}
 
     def lookup(self, block: bytes) -> Optional[int]:
         """Index of ``block`` in its granularity's dictionary, or None."""
@@ -142,6 +160,8 @@ class LbeDictionary:
             return False
         table[block] = len(self._values[size])
         self._values[size].append(block)
+        if self._memo:
+            self._memo.clear()
         return True
 
     def entry_count(self, size: int) -> int:
@@ -153,10 +173,11 @@ class LbeDictionary:
         clone = LbeDictionary.__new__(LbeDictionary)
         clone._maps = {g: dict(m) for g, m in self._maps.items()}
         clone._values = {g: list(v) for g, v in self._values.items()}
+        clone._memo = dict(self._memo)
         return clone
 
 
-@dataclass
+@dataclass(slots=True)
 class CompressedLine:
     """The symbol stream and exact encoded size of one appended line."""
 
@@ -164,7 +185,9 @@ class CompressedLine:
     size_bits: int = field(init=False)
 
     def __post_init__(self) -> None:
-        self.size_bits = sum(symbol.size_bits for symbol in self.symbols)
+        bits_for = _SYMBOL_BITS
+        self.size_bits = sum(bits_for[symbol.kind]
+                             for symbol in self.symbols)
 
 
 class _Overlay:
@@ -282,55 +305,109 @@ class LbeCompressor:
         commit=False).size_bits`` — multi-log trial placement calls this
         on every active log for every fill, so it avoids the symbol
         objects and ordered-overlay bookkeeping of the full encoder.
-        """
-        line = check_line(line)
-        if not any(line):
-            return self._ZERO_LINE_BITS
-        added: Dict[int, Dict[bytes, bool]] = {g: {} for g in DICT_CAPACITY}
-        bits = 0
-        for start in range(0, LINE_SIZE, CHUNK_BYTES):
-            chunk = line[start:start + CHUNK_BYTES]
-            failed: List[bytes] = []
-            bits += self._measure_block(chunk, dictionary, added, failed)
-            for block in failed:
-                self._measure_insert(block, dictionary, added)
-        return bits
 
-    def _measure_block(self, block: bytes, dictionary: LbeDictionary,
-                       added: Dict[int, Dict[bytes, bool]],
-                       failed: List[bytes]) -> int:
-        size = len(block)
-        match_bits, zero_bits = self._MEASURE_BITS[size]
-        if not any(block):
-            return zero_bits
-        if (dictionary.lookup(block) is not None
-                or block in added[size]):
-            return match_bits
-        if size == 4:
-            self._measure_insert(block, dictionary, added)
-            value = int.from_bytes(block, "big")
-            if value < (1 << 8):
-                return 4 + 8
-            if value < (1 << 16):
-                return 3 + 16
-            return 2 + 32
-        half = size // 2
-        bits = (self._measure_block(block[:half], dictionary, added, failed)
-                + self._measure_block(block[half:], dictionary, added,
-                                      failed))
-        failed.append(block)
+        This is the repository's hottest kernel, so it runs an inlined
+        loop over the 256/128/64/32-bit granularities plus a
+        content-keyed LRU memo per dictionary (cross-line duplication
+        makes repeats common); both are bit-exact against
+        :func:`repro.perf.reference.reference_lbe_measure`, which also
+        serves the path when fast paths are disabled.
+        """
+        if not fast_paths_enabled():
+            from repro.perf.reference import reference_lbe_measure
+            return reference_lbe_measure(line, dictionary)
+        line = check_line(line)
+        if line == ZERO_LINE:
+            return self._ZERO_LINE_BITS
+        memo = dictionary._memo
+        bits = memo.get(line)
+        if bits is not None:
+            del memo[line]
+            memo[line] = bits  # LRU refresh
+            return bits
+        bits = self._measure_impl(line, dictionary)
+        if len(memo) >= _MEASURE_MEMO_ENTRIES:
+            del memo[next(iter(memo))]
+        memo[line] = bits
         return bits
 
     @staticmethod
-    def _measure_insert(block: bytes, dictionary: LbeDictionary,
-                        added: Dict[int, Dict[bytes, bool]]) -> None:
-        size = len(block)
-        local = added[size]
-        if block in local or dictionary.lookup(block) is not None:
-            return
-        if dictionary.entry_count(size) + len(local) >= DICT_CAPACITY[size]:
-            return
-        local[block] = True
+    def _measure_impl(line: bytes, dictionary: LbeDictionary) -> int:
+        """Inlined measurement loop, bit-exact with the reference kernel.
+
+        The recursion of the reference implementation is unrolled into
+        explicit 32/16/8/4-byte levels; uncompressible blocks collect in
+        ``failed`` in the same post-order the recursion produced and are
+        allocated after each 256-bit chunk (paper §3.2.5), so capacity
+        freezes happen on exactly the same block as before.
+        """
+        maps = dictionary._maps
+        values = dictionary._values
+        m4, m8, m16, m32 = maps[4], maps[8], maps[16], maps[32]
+        room4 = DICT_CAPACITY[4] - len(values[4])
+        room8 = DICT_CAPACITY[8] - len(values[8])
+        room16 = DICT_CAPACITY[16] - len(values[16])
+        room32 = DICT_CAPACITY[32] - len(values[32])
+        a4: Dict[bytes, bool] = {}
+        a8: Dict[bytes, bool] = {}
+        a16: Dict[bytes, bool] = {}
+        a32: Dict[bytes, bool] = {}
+        bits = 0
+        for start in (0, CHUNK_BYTES):
+            chunk = line[start:start + CHUNK_BYTES]
+            if chunk == _Z32:
+                bits += 5
+                continue
+            if chunk in m32 or chunk in a32:
+                bits += 9
+                continue
+            failed: List[bytes] = []
+            for half in (chunk[:16], chunk[16:]):
+                if half == _Z16:
+                    bits += 5
+                    continue
+                if half in m16 or half in a16:
+                    bits += 10
+                    continue
+                for quarter in (half[:8], half[8:]):
+                    if quarter == _Z8:
+                        bits += 4
+                        continue
+                    if quarter in m8 or quarter in a8:
+                        bits += 10
+                        continue
+                    for word in (quarter[:4], quarter[4:]):
+                        if word == _Z4:
+                            bits += 4
+                            continue
+                        if word in m4 or word in a4:
+                            bits += 9
+                            continue
+                        if word[0] or word[1]:
+                            bits += 34      # u32 literal
+                        elif word[2]:
+                            bits += 19      # u16 literal
+                        else:
+                            bits += 12      # u8 literal
+                        if len(a4) < room4:
+                            a4[word] = True
+                    failed.append(quarter)
+                failed.append(half)
+            failed.append(chunk)
+            for block in failed:
+                size = len(block)
+                if size == 8:
+                    if block not in a8 and block not in m8 \
+                            and len(a8) < room8:
+                        a8[block] = True
+                elif size == 16:
+                    if block not in a16 and block not in m16 \
+                            and len(a16) < room16:
+                        a16[block] = True
+                elif block not in a32 and block not in m32 \
+                        and len(a32) < room32:
+                    a32[block] = True
+        return bits
 
     # -- decompression ------------------------------------------------------
 
@@ -450,17 +527,27 @@ class _chain_first:
         return next(self._stream)
 
 
-_DECODE_TABLE = sorted(
-    ((width, prefix, kind) for kind, (prefix, width) in PREFIX_CODES.items()),
-)
+_MAX_PREFIX_BITS = max(width for _, width in PREFIX_CODES.values())
+
+#: 5-bit-window decode table: Table 3's codes are prefix-free and cover
+#: the whole space, so every 5-bit pattern starts with exactly one code
+_PREFIX_LOOKUP: List[Tuple[str, int]] = [("", 0)] * (1 << _MAX_PREFIX_BITS)
+for _kind, (_prefix, _width) in PREFIX_CODES.items():
+    for _suffix in range(1 << (_MAX_PREFIX_BITS - _width)):
+        _PREFIX_LOOKUP[(_prefix << (_MAX_PREFIX_BITS - _width))
+                       | _suffix] = (_kind, _width)
+del _kind, _prefix, _width, _suffix
 
 
 def _read_prefix(reader: BitReader) -> str:
-    """Match the next bits against Table 3's prefix codes."""
-    for width, prefix, kind in _DECODE_TABLE:
-        if reader.remaining < width:
-            continue
-        if reader.peek(width) == prefix:
-            reader.read(width)
-            return kind
-    raise CompressionError("unrecognised LBE prefix code")
+    """Match the next bits against Table 3's prefix codes.
+
+    ``peek`` pads a short tail with zeros on the right; padding only
+    touches bits beyond the code returned by the table, so the lookup is
+    exact whenever the stream still holds a whole code.
+    """
+    kind, width = _PREFIX_LOOKUP[reader.peek(_MAX_PREFIX_BITS)]
+    if width > reader.remaining:
+        raise CompressionError("unrecognised LBE prefix code")
+    reader.read(width)
+    return kind

@@ -3,9 +3,20 @@
 Every module exposes a ``run(...)`` function returning a structured result
 and a ``render(result)`` function producing the ASCII table the benchmarks
 print.  ``repro.experiments.runner`` provides shared machinery (benchmark
-lists, scaled instruction budgets, baseline caching).
+lists, scaled instruction budgets, baseline caching) and
+``repro.experiments.parallel`` fans independent simulation cells across
+worker processes (``REPRO_JOBS`` controls the pool size).
 """
 
+from repro.experiments.parallel import (
+    MultiProgramSpec,
+    RunSpec,
+    last_timings,
+    parallel_map,
+    run_cells,
+    run_multi_cells,
+    worker_count,
+)
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
     FULL_BENCHMARKS,
@@ -16,6 +27,13 @@ from repro.experiments.runner import (
 __all__ = [
     "DEFAULT_BENCHMARKS",
     "FULL_BENCHMARKS",
+    "MultiProgramSpec",
+    "RunSpec",
     "geomean",
+    "last_timings",
+    "parallel_map",
+    "run_cells",
+    "run_multi_cells",
     "scale_instructions",
+    "worker_count",
 ]

@@ -20,13 +20,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     instructions_for,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 
 ABLATION_BENCHMARKS = ("gcc", "mcf", "cactusADM", "h264ref", "soplex")
 
@@ -42,6 +43,7 @@ class AblationResult:
     lmt_conflict_rate: Dict[str, List[float]] = field(default_factory=dict)
 
 
+@timed_experiment("ablations")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None) -> AblationResult:
     benchmarks = list(benchmarks or ABLATION_BENCHMARKS)
@@ -49,50 +51,50 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         DEFAULT_INSTRUCTIONS)
     result = AblationResult(benchmarks=benchmarks)
 
-    def ratio(scheme: str, benchmark: str,
-              config: Optional[SystemConfig] = None) -> float:
-        return run_single_program(
-            benchmark, scheme, config=config,
-            n_instructions=instructions_for(benchmark, n_instructions),
-        ).compression_ratio
+    def specs_for(scheme: str, config: Optional[SystemConfig] = None,
+                  budget_divisor: int = 1) -> list:
+        return [RunSpec(b, scheme, config=config,
+                        n_instructions=instructions_for(
+                            b, n_instructions // budget_divisor))
+                for b in benchmarks]
 
-    # 1. data codec (LZ runs at a reduced budget: the greedy matcher is
-    # an order of magnitude slower than LBE in this simulator)
-    result.algorithm_ratio = {
-        "MORC (LBE)": [ratio("MORC", b) for b in benchmarks],
-        "MORC (C-Pack)": [ratio("MORC-CPack", b) for b in benchmarks],
-        "MORC (LZ)": [
-            run_single_program(
-                b, "MORC-LZ",
-                n_instructions=instructions_for(b, n_instructions // 3),
-            ).compression_ratio
-            for b in benchmarks],
-    }
-    # 2. placement fudge factor
+    # Every arm flattened into one grid; regrouped in order below.
+    # (LZ runs at a reduced budget: the greedy matcher is an order of
+    # magnitude slower than LBE in this simulator.)
+    arms = [("MORC (LBE)", specs_for("MORC")),
+            ("MORC (C-Pack)", specs_for("MORC-CPack")),
+            ("MORC (LZ)", specs_for("MORC-LZ", budget_divisor=3))]
     for fudge, label in ((0.0, "fudge=0 (best only)"),
                          (0.05, "fudge=5% (paper)"),
                          (0.99, "fudge=99% (least-used)")):
-        config = SystemConfig().with_morc(fudge_factor=fudge)
-        result.fudge_ratio[label] = [ratio("MORC", b, config)
-                                     for b in benchmarks]
-    # 3. tag bases
+        arms.append((label, specs_for(
+            "MORC", SystemConfig().with_morc(fudge_factor=fudge))))
     for bases in (1, 2):
-        config = SystemConfig().with_morc(tag_bases=bases)
-        result.tag_bases_ratio[f"{bases} base(s)"] = [
-            ratio("MORC", b, config) for b in benchmarks]
-    # 4. LMT associativity -> conflict-eviction rate (% of fills)
+        arms.append((f"{bases} base(s)", specs_for(
+            "MORC", SystemConfig().with_morc(tag_bases=bases))))
     for ways in (1, 2):
-        config = SystemConfig().with_morc(lmt_ways=ways)
+        arms.append((f"{ways}-way LMT", specs_for(
+            "MORC", SystemConfig().with_morc(lmt_ways=ways))))
+
+    runs = iter(run_cells([spec for _, specs in arms for spec in specs]))
+    by_arm = {label: [next(runs) for _ in specs] for label, specs in arms}
+
+    def ratios(label: str) -> List[float]:
+        return [r.compression_ratio for r in by_arm[label]]
+
+    result.algorithm_ratio = {label: ratios(label) for label, _ in arms[:3]}
+    result.fudge_ratio = {label: ratios(label) for label, _ in arms[3:6]}
+    result.tag_bases_ratio = {label: ratios(label)
+                              for label, _ in arms[6:8]}
+    # LMT associativity -> conflict-eviction rate (% of fills)
+    for label, _ in arms[8:10]:
         rates = []
-        for benchmark in benchmarks:
-            run_result = run_single_program(
-                benchmark, "MORC", config=config,
-                n_instructions=instructions_for(benchmark, n_instructions))
+        for run_result in by_arm[label]:
             stats = run_result.llc_stats
             fills = stats.get("fills", 0) + stats.get("writebacks_in", 0)
             conflicts = stats.get("lmt_conflict_evictions", 0)
             rates.append(100.0 * conflicts / fills if fills else 0.0)
-        result.lmt_conflict_rate[f"{ways}-way LMT"] = rates
+        result.lmt_conflict_rate[label] = rates
     return result
 
 

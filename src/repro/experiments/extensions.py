@@ -17,16 +17,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     instructions_for,
     scale_instructions,
 )
-from repro.mem.banked import BankedMemoryChannel
-from repro.mem.controller import MemoryChannel
-from repro.mem.link import LinkCompressedChannel
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 from repro.sim.throughput import coarse_grain_throughput
 
 EXTENSION_BENCHMARKS = ("gcc", "mcf", "h264ref", "soplex", "cactusADM")
@@ -41,6 +39,7 @@ class ExtensionResult:
     banked_vs_simple: Dict[str, List[float]] = field(default_factory=dict)
 
 
+@timed_experiment("extensions")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None) -> ExtensionResult:
     benchmarks = list(benchmarks or EXTENSION_BENCHMARKS)
@@ -49,29 +48,32 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     result = ExtensionResult(benchmarks=benchmarks)
     config = SystemConfig()
 
-    def throughput(benchmark: str, scheme: str, channel_cls) -> float:
-        run_result = run_single_program(
-            benchmark, scheme, config=config,
-            n_instructions=instructions_for(benchmark, n_instructions),
-            memory=channel_cls(config.memory))
-        return coarse_grain_throughput(run_result.metrics)
-
+    # Memory channels travel as spec keys, so the whole grid is one
+    # parallel fan-out.
     configurations = (
-        ("Uncompressed", "Uncompressed", MemoryChannel),
-        ("MORC", "MORC", MemoryChannel),
-        ("Uncompressed+link", "Uncompressed", LinkCompressedChannel),
-        ("MORC+link", "MORC", LinkCompressedChannel),
+        ("Uncompressed", "Uncompressed", "simple"),
+        ("MORC", "MORC", "simple"),
+        ("Uncompressed+link", "Uncompressed", "link"),
+        ("MORC+link", "MORC", "link"),
+        ("simple channel", "MORC", "simple"),
+        ("banked DDR3", "MORC", "banked"),
     )
-    for label, scheme, channel_cls in configurations:
-        result.link_throughput[label] = [
-            throughput(benchmark, scheme, channel_cls)
-            for benchmark in benchmarks]
-
-    for label, channel_cls in (("simple channel", MemoryChannel),
-                               ("banked DDR3", BankedMemoryChannel)):
-        result.banked_vs_simple[label] = [
-            throughput(benchmark, "MORC", channel_cls)
-            for benchmark in benchmarks]
+    specs = [RunSpec(benchmark, scheme, config=config,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions),
+                     memory=channel,
+                     label=f"{benchmark}/{label}")
+             for label, scheme, channel in configurations
+             for benchmark in benchmarks]
+    runs = iter(run_cells(specs))
+    throughputs = {
+        label: [coarse_grain_throughput(next(runs).metrics)
+                for _ in benchmarks]
+        for label, _, _ in configurations}
+    result.link_throughput = {label: throughputs[label]
+                              for label, _, _ in configurations[:4]}
+    result.banked_vs_simple = {label: throughputs[label]
+                               for label, _, _ in configurations[4:]}
     return result
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -22,7 +23,7 @@ from repro.experiments.runner import (
     geomean,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 from repro.sim.throughput import coarse_grain_throughput
 
 SCHEMES = ("Adaptive", "Decoupled", "SC2", "MORC")
@@ -43,6 +44,7 @@ class FigureTenResult:
         default_factory=dict)
 
 
+@timed_experiment("figure10")
 def run(benchmarks: Optional[Sequence[str]] = None,
         bandwidths_mb_s: Sequence[float] = BANDWIDTHS_MB_S,
         n_instructions: Optional[int] = None,
@@ -50,27 +52,32 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     benchmarks = list(benchmarks or SWEEP_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS // 2)
+    # Flatten the whole bandwidth x (baseline + schemes) x benchmark grid
+    # into one spec list so the pool sees every cell at once.
+    all_schemes = ("Uncompressed",) + tuple(schemes)
+    specs = [RunSpec(benchmark, scheme,
+                     config=SystemConfig().with_bandwidth(bandwidth * 1e6),
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions),
+                     label=f"{benchmark}/{scheme}@{bandwidth:g}MB/s")
+             for bandwidth in bandwidths_mb_s
+             for scheme in all_schemes
+             for benchmark in benchmarks]
+    runs = iter(run_cells(specs))
     result = FigureTenResult(bandwidths_mb_s=list(bandwidths_mb_s))
     for scheme in schemes:
         result.normalized_ipc[scheme] = []
         result.normalized_throughput[scheme] = []
-    for bandwidth in bandwidths_mb_s:
-        config = SystemConfig().with_bandwidth(bandwidth * 1e6)
-        baselines = [run_single_program(
-            b, "Uncompressed", config=config,
-            n_instructions=instructions_for(b, n_instructions))
-            for b in benchmarks]
+    for _ in bandwidths_mb_s:
+        baselines = [next(runs) for _ in benchmarks]
         for scheme in schemes:
-            runs = [run_single_program(
-                b, scheme, config=config,
-                n_instructions=instructions_for(b, n_instructions))
-                for b in benchmarks]
+            scheme_runs = [next(runs) for _ in benchmarks]
             ipc_ratios = [run.ipc / base.ipc if base.ipc else 1.0
-                          for run, base in zip(runs, baselines)]
+                          for run, base in zip(scheme_runs, baselines)]
             tp_ratios = [
                 coarse_grain_throughput(run.metrics)
                 / max(coarse_grain_throughput(base.metrics), 1e-12)
-                for run, base in zip(runs, baselines)]
+                for run, base in zip(scheme_runs, baselines)]
             result.normalized_ipc[scheme].append(geomean(ipc_ratios))
             result.normalized_throughput[scheme].append(geomean(tp_ratios))
     return result

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -20,7 +21,7 @@ from repro.experiments.runner import (
     geomean,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 from repro.sim.throughput import coarse_grain_throughput
 
 CACHE_SIZES_KB = (64, 128, 256, 1024, 4096)
@@ -37,22 +38,28 @@ class FigureElevenResult:
     normalized_throughput: List[float] = field(default_factory=list)
 
 
+@timed_experiment("figure11")
 def run(benchmarks: Optional[Sequence[str]] = None,
         sizes_kb: Sequence[int] = CACHE_SIZES_KB,
         n_instructions: Optional[int] = None) -> FigureElevenResult:
     benchmarks = list(benchmarks or SWEEP_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS // 2)
+    specs = [RunSpec(benchmark, scheme,
+                     config=SystemConfig().with_llc_size(size_kb * 1024),
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions),
+                     label=f"{benchmark}/{scheme}@{size_kb}KB")
+             for size_kb in sizes_kb
+             for benchmark in benchmarks
+             for scheme in ("Uncompressed", "MORC")]
+    runs = iter(run_cells(specs))
     result = FigureElevenResult(sizes_kb=list(sizes_kb))
-    for size_kb in sizes_kb:
-        config = SystemConfig().with_llc_size(size_kb * 1024)
+    for _ in sizes_kb:
         ratios, bw_ratios, tp_ratios = [], [], []
-        for benchmark in benchmarks:
-            budget = instructions_for(benchmark, n_instructions)
-            base = run_single_program(benchmark, "Uncompressed",
-                                      config=config, n_instructions=budget)
-            morc = run_single_program(benchmark, "MORC", config=config,
-                                      n_instructions=budget)
+        for _ in benchmarks:
+            base = next(runs)
+            morc = next(runs)
             ratios.append(morc.compression_ratio)
             if base.bandwidth_gb > 0:
                 bw_ratios.append(morc.bandwidth_gb / base.bandwidth_gb)

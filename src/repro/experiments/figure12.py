@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -21,7 +22,7 @@ from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 
 
 @dataclass
@@ -33,27 +34,28 @@ class InvalidRatioOutcome:
     non_inclusive_pct: float
 
 
+@timed_experiment("figure12")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None) -> List[InvalidRatioOutcome]:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
-    outcomes: List[InvalidRatioOutcome] = []
-    for benchmark in benchmarks:
-        inclusive = run_single_program(
-            benchmark, "MORC", config=config,
-            n_instructions=instructions_for(benchmark, n_instructions),
-            inclusive_writes=True, compression_enabled=False)
-        non_inclusive = run_single_program(
-            benchmark, "MORC", config=config,
-            n_instructions=instructions_for(benchmark, n_instructions),
-            inclusive_writes=False, compression_enabled=False)
-        outcomes.append(InvalidRatioOutcome(
-            benchmark=benchmark,
-            inclusive_pct=inclusive.invalid_fraction * 100.0,
-            non_inclusive_pct=non_inclusive.invalid_fraction * 100.0))
-    return outcomes
+    specs = [RunSpec(benchmark, "MORC", config=config,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions),
+                     inclusive_writes=inclusive,
+                     compression_enabled=False,
+                     label=f"{benchmark}/inclusive={inclusive}")
+             for benchmark in benchmarks
+             for inclusive in (True, False)]
+    runs = run_cells(specs)
+    return [InvalidRatioOutcome(
+                benchmark=benchmark,
+                inclusive_pct=runs[2 * index].invalid_fraction * 100.0,
+                non_inclusive_pct=runs[2 * index + 1].invalid_fraction
+                * 100.0)
+            for index, benchmark in enumerate(benchmarks)]
 
 
 def render(outcomes: List[InvalidRatioOutcome]) -> str:

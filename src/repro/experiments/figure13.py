@@ -15,13 +15,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 
 LOG_SIZES = (64, 256, 512, 1024, 2048, 4096)
 ACTIVE_LOG_COUNTS = (1, 4, 8, 16, 32, 64)
@@ -40,6 +41,7 @@ class FigureThirteenResult:
     by_active_logs: Dict[int, List[float]] = field(default_factory=dict)
 
 
+@timed_experiment("figure13")
 def run(benchmarks: Optional[Sequence[str]] = None,
         log_sizes: Sequence[int] = LOG_SIZES,
         active_counts: Sequence[int] = ACTIVE_LOG_COUNTS,
@@ -49,23 +51,29 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     # short traces leave every configuration residency-capped and flat.
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS * 2)
+    # Both sweeps flattened into one grid for the pool.
+    specs = [RunSpec(benchmark, "MORC",
+                     config=SystemConfig().with_morc(
+                         log_size_bytes=log_size, unlimited_metadata=True),
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions),
+                     label=f"{benchmark}/log={log_size}B")
+             for log_size in log_sizes for benchmark in benchmarks]
+    specs += [RunSpec(benchmark, "MORC",
+                      config=SystemConfig().with_morc(
+                          n_active_logs=count, unlimited_metadata=True),
+                      n_instructions=instructions_for(benchmark,
+                                                      n_instructions),
+                      label=f"{benchmark}/logs={count}")
+              for count in active_counts for benchmark in benchmarks]
+    runs = iter(run_cells(specs))
     result = FigureThirteenResult(benchmarks=benchmarks)
     for log_size in log_sizes:
-        config = SystemConfig().with_morc(
-            log_size_bytes=log_size, unlimited_metadata=True)
         result.by_log_size[log_size] = [
-            run_single_program(b, "MORC", config=config,
-                               n_instructions=instructions_for(
-                                   b, n_instructions)).compression_ratio
-            for b in benchmarks]
+            next(runs).compression_ratio for _ in benchmarks]
     for count in active_counts:
-        config = SystemConfig().with_morc(
-            n_active_logs=count, unlimited_metadata=True)
         result.by_active_logs[count] = [
-            run_single_program(b, "MORC", config=config,
-                               n_instructions=instructions_for(
-                                   b, n_instructions)).compression_ratio
-            for b in benchmarks]
+            next(runs).compression_ratio for _ in benchmarks]
     return result
 
 

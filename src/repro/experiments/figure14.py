@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     instructions_for,
@@ -19,7 +20,7 @@ from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 
 #: (label, inclusive upper bound in decompressed bytes)
 BINS: Tuple[Tuple[str, float], ...] = (
@@ -51,19 +52,20 @@ def bin_histogram(histogram: Dict[int, int]) -> Dict[str, float]:
     return binned
 
 
+@timed_experiment("figure14")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None) -> List[LatencyDistribution]:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
-    results: List[LatencyDistribution] = []
-    for benchmark in benchmarks:
-        run_result = run_single_program(benchmark, "MORC", config=config,
-                                        n_instructions=instructions_for(benchmark, n_instructions))
-        results.append(LatencyDistribution(
-            benchmark, bin_histogram(run_result.latency_histogram)))
-    return results
+    specs = [RunSpec(benchmark, "MORC", config=config,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions))
+             for benchmark in benchmarks]
+    return [LatencyDistribution(benchmark,
+                                bin_histogram(run_result.latency_histogram))
+            for benchmark, run_result in zip(benchmarks, run_cells(specs))]
 
 
 def render(distributions: List[LatencyDistribution]) -> str:

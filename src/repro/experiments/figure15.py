@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -20,7 +21,7 @@ from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 
 
 @dataclass
@@ -32,6 +33,7 @@ class MergedOutcome:
     merged_ratio: float
 
 
+@timed_experiment("figure15")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None) -> List[MergedOutcome]:
@@ -39,17 +41,17 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
     config = config or SystemConfig()
-    outcomes: List[MergedOutcome] = []
-    for benchmark in benchmarks:
-        plain = run_single_program(benchmark, "MORC", config=config,
-                                   n_instructions=instructions_for(benchmark, n_instructions))
-        merged = run_single_program(benchmark, "MORCMerged", config=config,
-                                    n_instructions=instructions_for(benchmark, n_instructions))
-        outcomes.append(MergedOutcome(
-            benchmark=benchmark,
-            morc_ratio=plain.compression_ratio,
-            merged_ratio=merged.compression_ratio))
-    return outcomes
+    specs = [RunSpec(benchmark, scheme, config=config,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions))
+             for benchmark in benchmarks
+             for scheme in ("MORC", "MORCMerged")]
+    runs = run_cells(specs)
+    return [MergedOutcome(
+                benchmark=benchmark,
+                morc_ratio=runs[2 * index].compression_ratio,
+                merged_ratio=runs[2 * index + 1].compression_ratio)
+            for index, benchmark in enumerate(benchmarks)]
 
 
 def render(outcomes: List[MergedOutcome]) -> str:

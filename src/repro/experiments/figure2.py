@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.compression.oracle import OracleCache
+from repro.experiments.parallel import parallel_map
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -26,6 +27,7 @@ from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
+from repro.perf.timing import timed_experiment
 from repro.workloads.spec import make_trace
 
 SAMPLE_EVERY = 4096  # accesses between compression-ratio samples
@@ -60,23 +62,37 @@ def _run_oracle(trace_name: str, n_instructions: int,
     return ratio_sum / samples, cache.stats.get("misses")
 
 
+#: oracle variants per benchmark, in cell order
+_MODES = ("base", "intra", "inter")
+
+
+def _oracle_cell(cell: tuple) -> tuple:
+    """One (benchmark, mode) oracle run — module-level for the pool."""
+    benchmark, n_instructions, mode = cell
+    if mode == "base":
+        cache = OracleCache(compress=False)
+    elif mode == "intra":
+        cache = OracleCache(inter=False)
+    else:
+        cache = OracleCache(inter=True)
+    return _run_oracle(benchmark, n_instructions, cache)
+
+
+@timed_experiment("figure2")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None) -> List[OracleOutcome]:
-    """Run the Figure 2 limit study."""
+    """Run the Figure 2 limit study (3 oracle cells per benchmark)."""
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
+    cells = [(benchmark, instructions_for(benchmark, n_instructions), mode)
+             for benchmark in benchmarks for mode in _MODES]
+    results = iter(parallel_map(_oracle_cell, cells, label="oracle"))
     outcomes: List[OracleOutcome] = []
     for benchmark in benchmarks:
-        _, base_misses = _run_oracle(
-            benchmark, instructions_for(benchmark, n_instructions),
-            OracleCache(compress=False))
-        intra_ratio, intra_misses = _run_oracle(
-            benchmark, instructions_for(benchmark, n_instructions),
-            OracleCache(inter=False))
-        inter_ratio, inter_misses = _run_oracle(
-            benchmark, instructions_for(benchmark, n_instructions),
-            OracleCache(inter=True))
+        _, base_misses = next(results)
+        intra_ratio, intra_misses = next(results)
+        inter_ratio, inter_misses = next(results)
         outcomes.append(OracleOutcome(
             benchmark=benchmark,
             intra_ratio=intra_ratio,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -20,7 +21,8 @@ from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
-from repro.sim.system import SingleRunResult, run_single_program
+from repro.perf.timing import timed_experiment
+from repro.sim.system import SingleRunResult
 from repro.sim.throughput import ipc_improvement, throughput_improvement
 
 SCHEMES = ("Uncompressed", "Adaptive", "Decoupled", "SC2", "MORC")
@@ -59,22 +61,25 @@ class FigureSixResult:
                 for scheme in COMPRESSED}
 
 
+@timed_experiment("figure6")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None,
         schemes: Sequence[str] = SCHEMES) -> FigureSixResult:
-    """Run every (benchmark, scheme) pair of Figure 6."""
+    """Run every (benchmark, scheme) pair of Figure 6, in parallel."""
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
     config = config or SystemConfig()
+    specs = [RunSpec(benchmark, scheme, config=config,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions))
+             for scheme in schemes for benchmark in benchmarks]
+    runs = run_cells(specs)
     result = FigureSixResult(benchmarks=benchmarks)
-    for scheme in schemes:
-        result.runs[scheme] = [
-            run_single_program(benchmark, scheme, config=config,
-                               n_instructions=instructions_for(benchmark, n_instructions))
-            for benchmark in benchmarks
-        ]
+    for index, scheme in enumerate(schemes):
+        result.runs[scheme] = runs[index * len(benchmarks):
+                                   (index + 1) * len(benchmarks)]
     return result
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     instructions_for,
@@ -21,7 +22,7 @@ from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 
 #: figure column order; zX folds into the matching mX column
 COLUMNS = ("m256", "m128", "m64", "m32", "u32", "u16", "u8")
@@ -38,6 +39,7 @@ class SymbolDistribution:
     zero_portion: Dict[str, float]  # column -> fraction of bytes (zeros)
 
 
+@timed_experiment("figure7")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None) -> List[SymbolDistribution]:
@@ -45,13 +47,13 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
-    results: List[SymbolDistribution] = []
-    for benchmark in benchmarks:
-        run_result = run_single_program(benchmark, "MORC", config=config,
-                                        n_instructions=instructions_for(benchmark, n_instructions))
-        results.append(_distribution(benchmark, run_result.symbol_counters,
-                                     run_result.symbol_zero_counters))
-    return results
+    specs = [RunSpec(benchmark, "MORC", config=config,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions))
+             for benchmark in benchmarks]
+    return [_distribution(benchmark, run_result.symbol_counters,
+                          run_result.symbol_zero_counters)
+            for benchmark, run_result in zip(benchmarks, run_cells(specs))]
 
 
 def _distribution(benchmark: str, counters: Dict[str, float],

@@ -15,12 +15,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import MultiProgramSpec, run_multi_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     DEFAULT_MULTI_INSTRUCTIONS,
     scale_instructions,
 )
-from repro.sim.system import MultiProgramResult, run_multi_program
+from repro.perf.timing import timed_experiment
+from repro.sim.system import MultiProgramResult
 from repro.workloads.mixes import ALL_MULTI_WORKLOADS
 
 SCHEMES = ("Uncompressed", "Adaptive", "Decoupled", "SC2", "MORC")
@@ -72,24 +74,26 @@ class FigureEightResult:
             for scheme in COMPRESSED}
 
 
+@timed_experiment("figure8")
 def run(mixes: Optional[Sequence[str]] = None,
         n_instructions_each: Optional[int] = None,
         config: Optional[SystemConfig] = None,
         schemes: Sequence[str] = SCHEMES) -> FigureEightResult:
-    """Run the multi-program workloads under every scheme."""
+    """Run the multi-program workloads under every scheme, in parallel."""
     mixes = list(mixes or DEFAULT_MIXES)
     for mix in mixes:
         if mix not in ALL_MULTI_WORKLOADS:
             raise KeyError(f"unknown mix {mix!r}")
     n_each = n_instructions_each or scale_instructions(
         DEFAULT_MULTI_INSTRUCTIONS)
-    result = FigureEightResult(mixes=mixes)
-    for scheme in schemes:
-        result.runs[scheme] = [
-            run_multi_program(mix, scheme, config=config,
+    specs = [MultiProgramSpec(mix, scheme, config=config,
                               n_instructions_each=n_each)
-            for mix in mixes
-        ]
+             for scheme in schemes for mix in mixes]
+    runs = run_multi_cells(specs)
+    result = FigureEightResult(mixes=mixes)
+    for index, scheme in enumerate(schemes):
+        result.runs[scheme] = runs[index * len(mixes):
+                                   (index + 1) * len(mixes)]
     return result
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import format_table, series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -22,8 +23,9 @@ from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     scale_instructions,
 )
+from repro.perf.timing import timed_experiment
 from repro.sim.energy import EnergyBreakdown
-from repro.sim.system import SingleRunResult, run_single_program
+from repro.sim.system import SingleRunResult
 
 SCHEMES = ("Uncompressed", "Uncompressed8x", "Adaptive", "Decoupled",
            "SC2", "MORC")
@@ -54,6 +56,7 @@ class FigureNineResult:
         return sum(savings) / len(savings) if savings else 0.0
 
 
+@timed_experiment("figure9")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None,
@@ -62,13 +65,15 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
     config = config or SystemConfig()
+    specs = [RunSpec(benchmark, scheme, config=config,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions))
+             for scheme in schemes for benchmark in benchmarks]
+    runs = run_cells(specs)
     result = FigureNineResult(benchmarks=benchmarks)
-    for scheme in schemes:
-        result.runs[scheme] = [
-            run_single_program(benchmark, scheme, config=config,
-                               n_instructions=instructions_for(benchmark, n_instructions))
-            for benchmark in benchmarks
-        ]
+    for index, scheme in enumerate(schemes):
+        result.runs[scheme] = runs[index * len(benchmarks):
+                                   (index + 1) * len(benchmarks)]
     return result
 
 

@@ -15,9 +15,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.experiments.parallel import parallel_map
 from repro.experiments.report import series_table
 from repro.experiments.runner import scale_instructions
 from repro.mem.controller import MemoryChannel
+from repro.perf.timing import timed_experiment
 from repro.sim.core import CoreSimulator
 from repro.sim.system import make_llc
 from repro.workloads.micro import MICROBENCHMARKS, make_micro_trace
@@ -35,24 +37,35 @@ class MicrobenchResult:
     miss_rate: Dict[str, List[float]] = field(default_factory=dict)
 
 
+def _micro_cell(cell: tuple) -> tuple:
+    """One (micro, scheme) cell — module-level for the pool."""
+    micro, scheme, n_instructions = cell
+    config = SystemConfig()
+    llc = make_llc(scheme, config)
+    core = CoreSimulator(llc, MemoryChannel(config.memory), config)
+    metrics = core.run(make_micro_trace(micro, n_instructions))
+    accesses = metrics.llc_hits + metrics.llc_misses
+    return (llc.mean_compression_ratio(),
+            metrics.llc_misses / accesses if accesses else 0.0)
+
+
+@timed_experiment("microbench")
 def run(micros: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         schemes: Sequence[str] = SCHEMES) -> MicrobenchResult:
     micros = list(micros or MICROBENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_MICRO_INSTRUCTIONS)
+    cells = [(micro, scheme, n_instructions)
+             for scheme in schemes for micro in micros]
+    outcomes = iter(parallel_map(_micro_cell, cells, label="micro"))
     result = MicrobenchResult(micros=micros)
     for scheme in schemes:
         ratios, miss_rates = [], []
-        for micro in micros:
-            config = SystemConfig()
-            llc = make_llc(scheme, config)
-            core = CoreSimulator(llc, MemoryChannel(config.memory), config)
-            metrics = core.run(make_micro_trace(micro, n_instructions))
-            ratios.append(llc.mean_compression_ratio())
-            accesses = metrics.llc_hits + metrics.llc_misses
-            miss_rates.append(metrics.llc_misses / accesses
-                              if accesses else 0.0)
+        for _ in micros:
+            ratio, miss_rate = next(outcomes)
+            ratios.append(ratio)
+            miss_rates.append(miss_rate)
         result.ratio[scheme] = ratios
         result.miss_rate[scheme] = miss_rates
     return result

@@ -1,0 +1,203 @@
+"""Process-pool experiment engine.
+
+Every figure is a grid of independent (benchmark, config) simulation
+cells — the paper's own evaluation is embarrassingly parallel across its
+26 workloads — so the experiment modules describe their grids as
+:class:`RunSpec`/:class:`MultiProgramSpec` lists and this module fans
+them across ``os.cpu_count()`` worker processes.
+
+Guarantees:
+
+- **deterministic ordering** — results come back in spec order
+  (``executor.map`` semantics), so a parallel run is byte-identical to a
+  serial one;
+- **deterministic content** — each cell builds its own trace from seeds
+  carried in the spec; nothing depends on which worker runs it or when;
+- **graceful serial fallback** — ``REPRO_JOBS=1`` (or a single-cell
+  grid, or a host without ``fork``) runs everything in-process with no
+  executor, which also keeps pdb/profilers usable;
+- **per-cell timing** — every cell reports its wall-clock and worker
+  pid; :func:`last_timings` exposes them for ``BENCH_perf.json``.
+
+``REPRO_JOBS`` overrides the worker count; invalid values raise
+:class:`~repro.common.errors.ConfigError` rather than silently running
+serial.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.perf.timing import CellTiming
+
+#: memory-channel selector carried by :class:`RunSpec` (a key, not an
+#: instance, so specs stay small and picklable)
+MEMORY_CHANNELS = ("simple", "link", "banked")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One single-program simulation cell."""
+
+    benchmark: str
+    scheme: str
+    config: Optional[SystemConfig] = None
+    n_instructions: int = 120_000
+    warmup_fraction: float = 0.4
+    inclusive_writes: Optional[bool] = None
+    compression_enabled: bool = True
+    seed_offset: int = 0
+    #: one of :data:`MEMORY_CHANNELS`, or ``None`` for the default
+    memory: Optional[str] = None
+    #: free-form tag for timing reports (defaults to benchmark/scheme)
+    label: str = ""
+
+    def timing_label(self) -> str:
+        return self.label or f"{self.benchmark}/{self.scheme}"
+
+
+@dataclass(frozen=True)
+class MultiProgramSpec:
+    """One multi-program (16-thread mix) simulation cell."""
+
+    mix: str
+    scheme: str
+    config: Optional[SystemConfig] = None
+    n_instructions_each: int = 40_000
+    synchronized: bool = False
+    label: str = ""
+
+    def timing_label(self) -> str:
+        return self.label or f"{self.mix}/{self.scheme}"
+
+
+def worker_count() -> int:
+    """Number of worker processes (``REPRO_JOBS`` or the CPU count)."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
+        return max(1, os.cpu_count() or 1)
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_JOBS must be an integer, got {raw!r}")
+    if jobs < 1:
+        raise ConfigError(f"REPRO_JOBS must be >= 1, got {jobs}")
+    return jobs
+
+
+def _make_memory(key: Optional[str], config: SystemConfig):
+    if key is None:
+        return None
+    if key == "simple":
+        from repro.mem.controller import MemoryChannel
+        return MemoryChannel(config.memory)
+    if key == "link":
+        from repro.mem.link import LinkCompressedChannel
+        return LinkCompressedChannel(config.memory)
+    if key == "banked":
+        from repro.mem.banked import BankedMemoryChannel
+        return BankedMemoryChannel(config.memory)
+    raise ConfigError(f"unknown memory channel {key!r}; "
+                      f"choose from {MEMORY_CHANNELS}")
+
+
+def _execute_single(spec: RunSpec) -> Tuple[Any, float, int]:
+    """Run one cell; returns ``(result, seconds, worker pid)``."""
+    from repro.sim.system import run_single_program
+    config = spec.config or SystemConfig()
+    started = time.perf_counter()
+    result = run_single_program(
+        spec.benchmark, spec.scheme, config=config,
+        n_instructions=spec.n_instructions,
+        warmup_fraction=spec.warmup_fraction,
+        inclusive_writes=spec.inclusive_writes,
+        compression_enabled=spec.compression_enabled,
+        memory=_make_memory(spec.memory, config),
+        seed_offset=spec.seed_offset)
+    return result, time.perf_counter() - started, os.getpid()
+
+
+def _execute_multi(spec: MultiProgramSpec) -> Tuple[Any, float, int]:
+    """Run one multi-program cell; returns ``(result, seconds, pid)``."""
+    from repro.sim.system import run_multi_program
+    started = time.perf_counter()
+    result = run_multi_program(
+        spec.mix, spec.scheme, config=spec.config,
+        n_instructions_each=spec.n_instructions_each,
+        synchronized=spec.synchronized)
+    return result, time.perf_counter() - started, os.getpid()
+
+
+def _timed_apply(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, float,
+                                                               int]:
+    started = time.perf_counter()
+    return fn(item), time.perf_counter() - started, os.getpid()
+
+
+#: timings of the most recent engine invocation (spec order)
+_last_timings: List[CellTiming] = []
+
+
+def last_timings() -> List[CellTiming]:
+    """Per-cell timings from the most recent parallel_map/run_cells."""
+    return list(_last_timings)
+
+
+def _run_timed_cells(worker: Callable[[Any], Tuple[Any, float, int]],
+                     items: Sequence[Any],
+                     labels: Sequence[str],
+                     jobs: Optional[int]) -> List[Any]:
+    jobs = jobs if jobs is not None else worker_count()
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(items) <= 1:
+        outcomes = [worker(item) for item in items]
+    else:
+        # fork (the Linux default) shares the warm interpreter; cells
+        # carry all their state in the spec, so any start method works.
+        with ProcessPoolExecutor(max_workers=min(jobs,
+                                                 len(items))) as pool:
+            outcomes = list(pool.map(worker, items))
+    _last_timings.clear()
+    _last_timings.extend(
+        CellTiming(label, seconds, pid)
+        for label, (_, seconds, pid) in zip(labels, outcomes))
+    return [result for result, _, _ in outcomes]
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],
+                 jobs: Optional[int] = None,
+                 label: str = "cell") -> List[Any]:
+    """Order-preserving parallel map over independent cells.
+
+    ``fn`` must be a module-level callable (picklable); each item is one
+    cell.  Results come back in input order regardless of completion
+    order, and per-cell timings are recorded for :func:`last_timings`.
+    """
+    items = list(items)
+    labels = [f"{label}[{index}]" for index in range(len(items))]
+    return _run_timed_cells(functools.partial(_timed_apply, fn),
+                            items, labels, jobs)
+
+
+def run_cells(specs: Sequence[RunSpec],
+              jobs: Optional[int] = None) -> List[Any]:
+    """Run single-program cells across the worker pool, in spec order."""
+    specs = list(specs)
+    return _run_timed_cells(_execute_single, specs,
+                            [spec.timing_label() for spec in specs], jobs)
+
+
+def run_multi_cells(specs: Sequence[MultiProgramSpec],
+                    jobs: Optional[int] = None) -> List[Any]:
+    """Run multi-program cells across the worker pool, in spec order."""
+    specs = list(specs)
+    return _run_timed_cells(_execute_multi, specs,
+                            [spec.timing_label() for spec in specs], jobs)

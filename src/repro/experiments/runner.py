@@ -17,6 +17,7 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
 from repro.sim.system import SingleRunResult, run_single_program
 from repro.workloads.spec import ALL_SINGLE_PROGRAMS
 
@@ -37,11 +38,20 @@ DEFAULT_MULTI_INSTRUCTIONS = 40_000
 
 
 def scale_instructions(base: int) -> int:
-    """Apply the REPRO_SCALE environment multiplier to a budget."""
+    """Apply the REPRO_SCALE environment multiplier to a budget.
+
+    Invalid values raise :class:`~repro.common.errors.ConfigError`
+    rather than silently falling back: ``REPRO_SCALE=0`` used to clamp
+    every budget to 1,000 instructions, which looks like a fast run but
+    measures nothing.
+    """
+    raw = os.environ.get("REPRO_SCALE", "1")
     try:
-        scale = float(os.environ.get("REPRO_SCALE", "1"))
+        scale = float(raw)
     except ValueError:
-        scale = 1.0
+        raise ConfigError(f"REPRO_SCALE must be numeric, got {raw!r}")
+    if scale <= 0:
+        raise ConfigError(f"REPRO_SCALE must be positive, got {raw!r}")
     return max(1_000, int(base * scale))
 
 

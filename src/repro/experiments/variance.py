@@ -14,13 +14,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     instructions_for,
     scale_instructions,
 )
-from repro.sim.system import run_single_program
+from repro.perf.timing import timed_experiment
 
 VARIANCE_BENCHMARKS = ("gcc", "mcf", "h264ref", "soplex")
 SCHEMES = ("SC2", "MORC")
@@ -61,6 +62,7 @@ class VarianceResult:
         return True
 
 
+@timed_experiment("variance")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_seeds: int = DEFAULT_SEEDS,
         n_instructions: Optional[int] = None,
@@ -68,17 +70,20 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     benchmarks = list(benchmarks or VARIANCE_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS // 2)
+    specs = [RunSpec(benchmark, scheme,
+                     n_instructions=instructions_for(benchmark,
+                                                     n_instructions),
+                     seed_offset=seed * 7919,
+                     label=f"{benchmark}/{scheme}/seed{seed}")
+             for benchmark in benchmarks
+             for scheme in schemes
+             for seed in range(n_seeds)]
+    runs = iter(run_cells(specs))
     result = VarianceResult(benchmarks=benchmarks, n_seeds=n_seeds)
     for benchmark in benchmarks:
-        budget = instructions_for(benchmark, n_instructions)
         for scheme in schemes:
-            samples = []
-            for seed in range(n_seeds):
-                run_result = run_single_program(
-                    benchmark, scheme, n_instructions=budget,
-                    seed_offset=seed * 7919)
-                samples.append(run_result.compression_ratio)
-            result.samples[(benchmark, scheme)] = samples
+            result.samples[(benchmark, scheme)] = [
+                next(runs).compression_ratio for _ in range(n_seeds)]
     return result
 
 

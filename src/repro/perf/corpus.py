@@ -1,0 +1,126 @@
+"""Deterministic cache-line corpora for golden tests and kernel benches.
+
+Each generator yields 64-byte lines shaped like one of the data
+archetypes the paper's workloads exhibit (§4, Figure 7): zero-dominated
+(gcc), duplicate-heavy (zeusmp), pointer-like (mcf/omnetpp), small-int
+arrays (hmmer), text-like (perlbench) and incompressible random (bzip2
+payloads).  Everything is seeded, so the corpora are identical across
+runs and processes — the golden bit-exactness tests depend on that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.common.words import LINE_SIZE
+
+ARCHETYPES = ("zeros", "duplicates", "pointers", "small_ints",
+              "text", "random")
+
+
+def _zero_lines(rng: random.Random, count: int) -> List[bytes]:
+    """Mostly-zero lines: all-zero and sparse single-word lines."""
+    lines = []
+    for _ in range(count):
+        if rng.random() < 0.6:
+            lines.append(bytes(LINE_SIZE))
+        else:
+            line = bytearray(LINE_SIZE)
+            for _ in range(rng.randrange(1, 4)):
+                offset = rng.randrange(0, LINE_SIZE - 4, 4)
+                line[offset + 3] = rng.randrange(1, 256)
+            lines.append(bytes(line))
+    return lines
+
+
+def _duplicate_lines(rng: random.Random, count: int) -> List[bytes]:
+    """A small pool of template lines repeated with high probability."""
+    templates = [bytes(rng.randrange(256) for _ in range(LINE_SIZE))
+                 for _ in range(4)]
+    lines = []
+    for _ in range(count):
+        if rng.random() < 0.8:
+            lines.append(rng.choice(templates))
+        else:
+            lines.append(bytes(rng.randrange(256)
+                               for _ in range(LINE_SIZE)))
+    return lines
+
+
+def _pointer_lines(rng: random.Random, count: int) -> List[bytes]:
+    """64-bit pointers sharing a heap base: upper words repeat."""
+    base = 0x00007F3A00000000
+    lines = []
+    for _ in range(count):
+        line = bytearray()
+        for _ in range(LINE_SIZE // 8):
+            pointer = base + rng.randrange(0, 1 << 20) * 8
+            line += pointer.to_bytes(8, "big")
+        lines.append(bytes(line))
+    return lines
+
+
+def _small_int_lines(rng: random.Random, count: int) -> List[bytes]:
+    """Arrays of small 32-bit integers (u8/u16 literal territory)."""
+    lines = []
+    for _ in range(count):
+        line = bytearray()
+        for _ in range(LINE_SIZE // 4):
+            line += rng.randrange(0, 1 << 12).to_bytes(4, "big")
+        lines.append(bytes(line))
+    return lines
+
+
+def _text_lines(rng: random.Random, count: int) -> List[bytes]:
+    """ASCII-ish payloads with repeated short substrings."""
+    vocabulary = [b"the ", b"cache", b" of ", b"line", b"morc", b"data"]
+    lines = []
+    for _ in range(count):
+        line = bytearray()
+        while len(line) < LINE_SIZE:
+            line += rng.choice(vocabulary)
+        lines.append(bytes(line[:LINE_SIZE]))
+    return lines
+
+
+def _random_lines(rng: random.Random, count: int) -> List[bytes]:
+    """Incompressible uniform-random lines."""
+    return [bytes(rng.randrange(256) for _ in range(LINE_SIZE))
+            for _ in range(count)]
+
+
+_GENERATORS = {
+    "zeros": _zero_lines,
+    "duplicates": _duplicate_lines,
+    "pointers": _pointer_lines,
+    "small_ints": _small_int_lines,
+    "text": _text_lines,
+    "random": _random_lines,
+}
+
+
+def line_corpus(archetype: str, count: int = 64,
+                seed: int = 0x5EED) -> List[bytes]:
+    """``count`` deterministic 64-byte lines of one archetype."""
+    try:
+        generator = _GENERATORS[archetype]
+    except KeyError:
+        raise KeyError(f"unknown corpus archetype {archetype!r}; "
+                       f"choose from {ARCHETYPES}")
+    return generator(random.Random(f"{seed}/{archetype}"), count)
+
+
+def full_corpus(count_per_archetype: int = 64,
+                seed: int = 0x5EED) -> Dict[str, List[bytes]]:
+    """Every archetype's corpus, keyed by name."""
+    return {archetype: line_corpus(archetype, count_per_archetype, seed)
+            for archetype in ARCHETYPES}
+
+
+def mixed_stream(count: int = 256, seed: int = 0x5EED) -> List[bytes]:
+    """An interleaved stream across archetypes, as a cache would see."""
+    pools = full_corpus(max(8, count // len(ARCHETYPES) + 1), seed)
+    rng = random.Random(f"{seed}/mix")
+    return [rng.choice(pools[rng.choice(ARCHETYPES)])
+            for _ in range(count)]

@@ -1,0 +1,28 @@
+"""Runtime switch for the optimised compression kernels.
+
+Every optimisation gated here is bit-exact — identical compressed sizes
+and symbol streams — so the switch exists purely for measurement: with
+``REPRO_FAST=0`` the codecs run the reference kernels from
+:mod:`repro.perf.reference`, giving ``benchmarks/bench_perf.py`` an
+honest before/after on any host.  The default is on.
+"""
+
+from __future__ import annotations
+
+import os
+
+_enabled = os.environ.get("REPRO_FAST", "1").strip().lower() not in (
+    "0", "false", "no", "off")
+
+
+def fast_paths_enabled() -> bool:
+    """True when the optimised kernels (memoisation, inlined loops) run."""
+    return _enabled
+
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Toggle the fast paths at runtime; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous

@@ -1,0 +1,70 @@
+"""Timing capture for experiments and individual simulation cells.
+
+Two layers feed the perf trajectory in ``BENCH_perf.json``:
+
+- :func:`timed_experiment` wraps every experiment module's ``run()`` and
+  records wall-clock per invocation.
+- the parallel engine (:mod:`repro.experiments.parallel`) records one
+  :class:`CellTiming` per (benchmark, scheme) cell, including which
+  worker process executed it.
+
+Both registries are in-process and cheap; ``timings()`` snapshots them
+for reporting.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable, List, TypeVar
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class ExperimentTiming:
+    """Wall-clock of one experiment ``run()`` invocation."""
+
+    label: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock of one simulation cell, as measured in its worker."""
+
+    label: str
+    seconds: float
+    worker_pid: int
+
+
+_experiment_timings: List[ExperimentTiming] = []
+
+
+def timed_experiment(label: str) -> Callable[[Callable[..., _T]],
+                                             Callable[..., _T]]:
+    """Decorator recording the wall-clock of each call under ``label``."""
+
+    def decorate(func: Callable[..., _T]) -> Callable[..., _T]:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            started = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                _experiment_timings.append(ExperimentTiming(
+                    label, time.perf_counter() - started))
+        return wrapper
+
+    return decorate
+
+
+def timings() -> List[ExperimentTiming]:
+    """Snapshot of every experiment timing recorded so far."""
+    return list(_experiment_timings)
+
+
+def clear_timings() -> None:
+    """Drop all recorded experiment timings."""
+    _experiment_timings.clear()
