@@ -3,7 +3,8 @@
 Times the optimised compression kernels against their reference
 implementations (``repro.perf.reference``) and one end-to-end figure run
 in two configurations — serial with fast paths off versus parallel with
-fast paths on — then writes the measurements to ``BENCH_perf.json``.
+fast paths on — plus an observability leg (``REPRO_OBS`` off vs on),
+then writes the measurements to ``BENCH_perf.json``.
 
 Every optimisation is bit-exact (enforced by
 ``tests/test_perf_equivalence.py``), so these numbers are pure speed:
@@ -149,10 +150,15 @@ print(json.dumps({{"elapsed_s": elapsed, "ratios": ratios,
 
 
 def _end_to_end_leg(benchmarks, n_instructions, schemes, fast: bool,
-                    jobs: int) -> dict:
+                    jobs: int, obs_trace: str = "") -> dict:
     env = dict(os.environ)
     env["REPRO_FAST"] = "1" if fast else "0"
     env["REPRO_JOBS"] = str(jobs)
+    if obs_trace:
+        env["REPRO_OBS"] = "1"
+        env["REPRO_OBS_TRACE"] = obs_trace
+    else:
+        env["REPRO_OBS"] = "0"
     snippet = _END_TO_END_SNIPPET.format(
         src=str(SRC), benchmarks=list(benchmarks),
         n_instructions=n_instructions, schemes=tuple(schemes))
@@ -181,6 +187,43 @@ def bench_end_to_end(benchmarks, n_instructions, schemes) -> dict:
         "serial_reference_s": before["elapsed_s"],
         "parallel_fast_s": after["elapsed_s"],
         "speedup": before["elapsed_s"] / after["elapsed_s"],
+        "bit_exact": True,
+    }
+
+
+def bench_observability(benchmarks, n_instructions, schemes) -> dict:
+    """Tracing-off vs tracing-on cost of the same grid.
+
+    Both legs run serial with fast paths on so the only difference is
+    ``REPRO_OBS``; results must stay bit-identical either way (the
+    tracer observes, never perturbs), and the off leg's overhead versus
+    a default run is what the <5% acceptance bound measures.
+    """
+    import tempfile
+    off = _end_to_end_leg(benchmarks, n_instructions, schemes,
+                          fast=True, jobs=1)
+    handle, trace_path = tempfile.mkstemp(suffix=".jsonl",
+                                          prefix="repro_obs_bench_")
+    os.close(handle)
+    try:
+        on = _end_to_end_leg(benchmarks, n_instructions, schemes,
+                             fast=True, jobs=1, obs_trace=trace_path)
+        with open(trace_path, "rb") as stream:
+            events = sum(1 for _ in stream)
+    finally:
+        os.unlink(trace_path)
+    if off["ratios"] != on["ratios"]:
+        raise AssertionError("tracing changed simulation results: "
+                             "the tracer must only observe")
+    overhead = on["elapsed_s"] / off["elapsed_s"] - 1.0
+    return {
+        "benchmarks": list(benchmarks),
+        "schemes": list(schemes),
+        "n_instructions": n_instructions,
+        "obs_off_s": off["elapsed_s"],
+        "obs_on_s": on["elapsed_s"],
+        "overhead_pct": overhead * 100.0,
+        "events": events,
         "bit_exact": True,
     }
 
@@ -230,11 +273,18 @@ def main(argv=None) -> int:
           f"{end_to_end['parallel_fast_s']:.2f}s  "
           f"({end_to_end['speedup']:.2f}x, bit-exact)")
 
+    observability = bench_observability(**grid)
+    print(f"  obs off {observability['obs_off_s']:.2f}s -> "
+          f"obs on {observability['obs_on_s']:.2f}s  "
+          f"({observability['overhead_pct']:+.1f}%, "
+          f"{observability['events']} events, bit-exact)")
+
     payload = {
         "mode": "quick" if args.quick else "full",
         "host_cpus": os.cpu_count(),
         "kernels": kernels,
         "end_to_end": end_to_end,
+        "observability": observability,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")

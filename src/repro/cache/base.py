@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.common.stats import StatGroup
+from repro.obs import trace as obs_trace
 
 Writeback = Tuple[int, bytes]
 """A dirty line leaving the LLC for memory: (address, data)."""
@@ -69,9 +70,15 @@ class LLCInterface(abc.ABC):
 
         The paper samples compression ratio every 10M instructions; the
         system simulator calls this periodically and reports the mean.
+        Each sample is also traced, so ``repro obs`` can reconstruct the
+        reported mean ratio from the event stream alone.
         """
-        self.stats.add("ratio_sum", self.compression_ratio())
+        ratio = self.compression_ratio()
+        self.stats.add("ratio_sum", ratio)
         self.stats.add("ratio_samples")
+        channel = obs_trace.LLC
+        if channel is not None:
+            channel.emit("ratio_sample", cache=self.name, ratio=ratio)
 
     def mean_compression_ratio(self) -> float:
         """Average of the sampled ratios (falls back to the current one)."""

@@ -29,6 +29,7 @@ from typing import Dict, Optional
 from repro.common.config import CacheGeometry
 from repro.common.stats import StatGroup
 from repro.common.words import check_line
+from repro.obs import trace as obs_trace
 from repro.cache.base import FillResult, LLCInterface, ReadResult
 from repro.cache.replacement import LruPolicy
 from repro.compression.base import IntraLineCompressor
@@ -131,7 +132,7 @@ class SetAssociativeCache(LLCInterface):
             self.stats.add("expansions")
             growth = new_segments - line.segments
             self._make_room(cache_set, growth, 0, result,
-                            protect=line_address)
+                            protect=line_address, reason="expansion")
         cache_set.used_segments += new_segments - line.segments
         line.segments = new_segments
         line.data = data
@@ -166,11 +167,16 @@ class SetAssociativeCache(LLCInterface):
                                               segments)
         cache_set.lru.insert(line_address)
         cache_set.used_segments += segments
+        channel = obs_trace.LLC
+        if channel is not None:
+            channel.emit("insert", cache=self.name, dirty=dirty,
+                         bits=segments * SEGMENT_BYTES * 8)
         return result
 
     def _make_room(self, cache_set: _Set, segments_needed: int,
                    tags_needed: int, result: FillResult,
-                   protect: Optional[int] = None) -> None:
+                   protect: Optional[int] = None,
+                   reason: str = "capacity") -> None:
         """Evict LRU lines until the set can absorb the new line."""
         while ((cache_set.used_segments + segments_needed
                 > self.segments_per_set)
@@ -178,7 +184,7 @@ class SetAssociativeCache(LLCInterface):
             victim_key = self._pick_victim(cache_set, protect)
             if victim_key is None:
                 break
-            self._evict(cache_set, victim_key, result)
+            self._evict(cache_set, victim_key, result, reason=reason)
             if tags_needed:
                 tags_needed = (0 if len(cache_set.lines) < self.tags_per_set
                                else 1)
@@ -191,11 +197,16 @@ class SetAssociativeCache(LLCInterface):
         return None
 
     def _evict(self, cache_set: _Set, line_address: int,
-               result: FillResult) -> None:
+               result: FillResult, reason: str = "capacity") -> None:
         line = cache_set.lines.pop(line_address)
         cache_set.lru.remove(line_address)
         cache_set.used_segments -= line.segments
         self.stats.add("evictions")
+        channel = obs_trace.LLC
+        if channel is not None:
+            channel.emit("evict", cache=self.name, reason=reason,
+                         dirty=line.dirty,
+                         bits=line.segments * SEGMENT_BYTES * 8)
         if line.dirty:
             self.stats.add("dirty_evictions")
             if self.compressor is not None:

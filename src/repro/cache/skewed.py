@@ -26,6 +26,7 @@ from repro.cache.base import FillResult, LLCInterface, ReadResult
 from repro.common.config import CacheGeometry
 from repro.common.stats import StatGroup
 from repro.common.words import check_line
+from repro.obs import trace as obs_trace
 from repro.compression.base import IntraLineCompressor
 from repro.compression.cpack import CPackCompressor
 
@@ -162,6 +163,10 @@ class SkewedCompressedCache(LLCInterface):
         target.blocks = blocks
         target.lines[line_address] = (data, dirty)
         target.last_use = self._tick()
+        channel = obs_trace.LLC
+        if channel is not None:
+            channel.emit("insert", cache=self.name, dirty=dirty,
+                         bits=size.size_bits, size_class=blocks)
         return result
 
     def _find_target(self, superblock: int, blocks: int,
@@ -184,8 +189,13 @@ class SkewedCompressedCache(LLCInterface):
         return victim
 
     def _evict(self, entry: _Entry, result: FillResult) -> None:
+        channel = obs_trace.LLC
         for line_address, (data, dirty) in entry.lines.items():
             self.stats.add("evictions")
+            if channel is not None:
+                channel.emit("evict", cache=self.name,
+                             reason="skew_conflict", dirty=dirty,
+                             size_class=entry.blocks)
             if dirty:
                 self.stats.add("dirty_evictions")
                 self.stats.add("decompressions")

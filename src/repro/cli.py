@@ -5,7 +5,8 @@ Commands mirror the paper's evaluation:
 - ``run`` — one (benchmark, scheme) simulation with a summary line
 - ``figure2`` / ``figure6`` / ... / ``figure15`` / ``table1`` /
   ``table4`` / ``ablations`` — regenerate a table or figure
-- ``list`` — available benchmarks, schemes and experiments
+- ``list`` — available benchmarks, schemes, experiments and env knobs
+- ``obs`` — summarise an observability trace (``REPRO_OBS=1`` runs)
 """
 
 from __future__ import annotations
@@ -113,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("-n", "--instructions", type=int,
                               default=120_000)
 
+    obs_parser = subparsers.add_parser(
+        "obs", help="summarise a JSONL observability trace")
+    obs_parser.add_argument("trace_path",
+                            help="trace file (REPRO_OBS_TRACE output)")
+    obs_parser.add_argument("--top", type=int, default=8,
+                            help="rows per ranking table")
+
     subparsers.add_parser("list", help="list benchmarks and schemes")
     return parser
 
@@ -162,6 +170,38 @@ def _command_list() -> int:
     print("\nbenchmarks:")
     for name in ALL_SINGLE_PROGRAMS:
         print(f"  {name}")
+    from repro.obs.config import ALL_CATEGORIES
+    print("\nobservability categories (REPRO_OBS_CATEGORIES):")
+    print("  " + " ".join(ALL_CATEGORIES))
+    print("\nenvironment knobs:")
+    knobs = (
+        ("REPRO_OBS", "enable metrics + event tracing (default 0)"),
+        ("REPRO_OBS_TRACE", "trace output path "
+                            "(default repro_obs.jsonl)"),
+        ("REPRO_OBS_CATEGORIES", "comma-separated category filter "
+                                 "(default all)"),
+        ("REPRO_OBS_SAMPLE", "memory queue sampling stride "
+                             "(default 64)"),
+        ("REPRO_JOBS", "experiment worker processes "
+                       "(default cpu count)"),
+        ("REPRO_FAST", "bit-exact compression fast paths "
+                       "(default 1)"),
+        ("REPRO_SCALE", "scale factor for default instruction "
+                        "counts"),
+    )
+    for knob, description in knobs:
+        print(f"  {knob:<22}{description}")
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summary import render, summarize
+    try:
+        summary = summarize(args.trace_path)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    print(render(summary, top=args.top))
     return 0
 
 
@@ -181,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "list":
         return _command_list()
+    if args.command == "obs":
+        return _command_obs(args)
     if args.command == "trace":
         return _command_trace(args)
     if args.command == "anatomy":

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 from repro.common.errors import CompressionError
 from repro.common.words import LINE_SIZE, check_line
 from repro.compression.base import CompressedSize, IntraLineCompressor
+from repro.obs.trace import compression_event
 
 ENCODING_BITS = 4
 
@@ -140,4 +141,6 @@ class BdiCompressor(IntraLineCompressor):
         else:
             _base, base_bytes, delta_bytes, _deltas, _mask = payload
             size_bytes = self._mode_bytes(base_bytes, delta_bytes)
-        return CompressedSize(ENCODING_BITS + size_bytes * 8)
+        bits = ENCODING_BITS + size_bytes * 8
+        compression_event("bdi", line, bits)
+        return CompressedSize(bits)

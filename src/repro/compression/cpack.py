@@ -34,6 +34,7 @@ from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CompressionError
 from repro.common.words import LINE_SIZE, check_line, from_words32, words32
 from repro.compression.base import CompressedSize, IntraLineCompressor
+from repro.obs.trace import compression_event
 from repro.perf.fastpath import fast_paths_enabled
 
 DICTIONARY_ENTRIES = 16
@@ -187,9 +188,10 @@ class CPackCompressor(IntraLineCompressor):
         the fast paths are enabled.
         """
         if not fast_paths_enabled():
-            return CompressedSize(sum(
-                _TOKEN_BITS[token[0]]
-                for token in self.compress_tokens(line)))
+            bits = sum(_TOKEN_BITS[token[0]]
+                       for token in self.compress_tokens(line))
+            compression_event("cpack", line, bits)
+            return CompressedSize(bits)
         line = check_line(line)
         memo = self._memo
         bits = memo.get(line)
@@ -199,6 +201,7 @@ class CPackCompressor(IntraLineCompressor):
             return CompressedSize(bits)
         bits = sum(_TOKEN_BITS[token[0]]
                    for token in self.compress_tokens(line))
+        compression_event("cpack", line, bits)
         if len(memo) >= _MEMO_ENTRIES:
             del memo[next(iter(memo))]
         memo[line] = bits

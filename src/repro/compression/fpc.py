@@ -33,6 +33,7 @@ from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CompressionError
 from repro.common.words import check_line, from_words32, words32
 from repro.compression.base import CompressedSize, IntraLineCompressor
+from repro.obs.trace import compression_event
 from repro.perf.fastpath import fast_paths_enabled
 
 PREFIX_BITS = 3
@@ -170,9 +171,10 @@ class FpcCompressor(IntraLineCompressor):
         """Exact encoded size of ``line`` in bits (memoised under
         ``REPRO_FAST`` since FPC keeps no cross-line state)."""
         if not fast_paths_enabled():
-            return CompressedSize(sum(
-                _TOKEN_BITS[token[0]]
-                for token in self.compress_tokens(line)))
+            bits = sum(_TOKEN_BITS[token[0]]
+                       for token in self.compress_tokens(line))
+            compression_event("fpc", line, bits)
+            return CompressedSize(bits)
         line = check_line(line)
         memo = self._memo
         bits = memo.get(line)
@@ -182,6 +184,7 @@ class FpcCompressor(IntraLineCompressor):
             return CompressedSize(bits)
         bits = sum(_TOKEN_BITS[token[0]]
                    for token in self.compress_tokens(line))
+        compression_event("fpc", line, bits)
         if len(memo) >= _MEMO_ENTRIES:
             del memo[next(iter(memo))]
         memo[line] = bits

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CompressionError
 from repro.common.words import LINE_SIZE, ZERO_LINE, check_line
+from repro.obs.trace import compression_event
 from repro.perf.fastpath import fast_paths_enabled
 
 CHUNK_BYTES = 32
@@ -252,7 +253,12 @@ class LbeCompressor:
                 overlay.insert(block)
         if commit:
             overlay.commit()
-        return CompressedLine(tuple(symbols))
+        compressed = CompressedLine(tuple(symbols))
+        if commit:
+            # Trial placements go through measure(); committed appends are
+            # the stream's real compression attempts.
+            compression_event("lbe", line, compressed.size_bits)
+        return compressed
 
     def _encode_block(self, block: bytes, overlay: _Overlay,
                       out: List[Symbol], failed: List[bytes]) -> None:

@@ -16,8 +16,10 @@ Guarantees:
 - **graceful serial fallback** — ``REPRO_JOBS=1`` (or a single-cell
   grid, or a host without ``fork``) runs everything in-process with no
   executor, which also keeps pdb/profilers usable;
-- **per-cell timing** — every cell reports its wall-clock and worker
-  pid; :func:`last_timings` exposes them for ``BENCH_perf.json``.
+- **per-cell timing** — every cell reports its wall-clock, worker pid,
+  queue wait, and worker peak RSS; :func:`last_timings` and
+  :func:`last_worker_profiles` expose them for ``BENCH_perf.json`` and
+  the ``engine`` trace category.
 
 ``REPRO_JOBS`` overrides the worker count; invalid values raise
 :class:`~repro.common.errors.ConfigError` rather than silently running
@@ -35,6 +37,8 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
+from repro.obs import trace as obs_trace
+from repro.obs.profiling import WorkerProfile, peak_rss_kb, worker_profiles
 from repro.perf.timing import CellTiming
 
 #: memory-channel selector carried by :class:`RunSpec` (a key, not an
@@ -141,8 +145,26 @@ def _timed_apply(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, float,
     return fn(item), time.perf_counter() - started, os.getpid()
 
 
+def _profiled(worker: Callable[[Any], Tuple[Any, float, int]],
+              payload: Tuple[float, Any]) -> Tuple[Any, float, int,
+                                                   float, int]:
+    """Run one cell in its worker, adding queue wait and peak RSS.
+
+    ``payload`` is ``(submitted, item)``: the parent's ``perf_counter``
+    at submission.  CLOCK_MONOTONIC is system-wide on Linux and shared
+    across forked workers, so worker-start minus parent-submit is a real
+    queue-wait duration.
+    """
+    submitted, item = payload
+    queue_wait = max(0.0, time.perf_counter() - submitted)
+    result, seconds, pid = worker(item)
+    return result, seconds, pid, queue_wait, peak_rss_kb()
+
+
 #: timings of the most recent engine invocation (spec order)
 _last_timings: List[CellTiming] = []
+#: wall clock of the most recent engine invocation
+_last_wall_s: float = 0.0
 
 
 def last_timings() -> List[CellTiming]:
@@ -150,26 +172,61 @@ def last_timings() -> List[CellTiming]:
     return list(_last_timings)
 
 
+def last_wall_seconds() -> float:
+    """Wall clock of the most recent engine invocation."""
+    return _last_wall_s
+
+
+def last_worker_profiles() -> List[WorkerProfile]:
+    """Per-worker utilization of the most recent engine invocation."""
+    return worker_profiles(_last_timings, _last_wall_s)
+
+
 def _run_timed_cells(worker: Callable[[Any], Tuple[Any, float, int]],
                      items: Sequence[Any],
                      labels: Sequence[str],
                      jobs: Optional[int]) -> List[Any]:
+    global _last_wall_s
     jobs = jobs if jobs is not None else worker_count()
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    runner = functools.partial(_profiled, worker)
+    started = time.perf_counter()
+    payloads = [(started, item) for item in items]
     if jobs == 1 or len(items) <= 1:
-        outcomes = [worker(item) for item in items]
+        outcomes = [runner(payload) for payload in payloads]
     else:
         # fork (the Linux default) shares the warm interpreter; cells
         # carry all their state in the spec, so any start method works.
         with ProcessPoolExecutor(max_workers=min(jobs,
                                                  len(items))) as pool:
-            outcomes = list(pool.map(worker, items))
+            outcomes = list(pool.map(runner, payloads))
+    _last_wall_s = time.perf_counter() - started
     _last_timings.clear()
     _last_timings.extend(
-        CellTiming(label, seconds, pid)
-        for label, (_, seconds, pid) in zip(labels, outcomes))
-    return [result for result, _, _ in outcomes]
+        CellTiming(label, seconds, pid, queue_wait, rss)
+        for label, (_, seconds, pid, queue_wait, rss)
+        in zip(labels, outcomes))
+    _emit_engine_events()
+    return [outcome[0] for outcome in outcomes]
+
+
+def _emit_engine_events() -> None:
+    """Trace the engine invocation just recorded (``engine`` category)."""
+    channel = obs_trace.ENGINE
+    if channel is None:
+        return
+    for timing in _last_timings:
+        channel.emit("cell", label=timing.label, seconds=timing.seconds,
+                     pid=timing.worker_pid,
+                     queue_wait_s=timing.queue_wait_s,
+                     rss_kb=timing.peak_rss_kb)
+    for profile in last_worker_profiles():
+        channel.emit("worker", pid=profile.pid, cells=profile.cells,
+                     busy_s=profile.busy_s,
+                     queue_wait_s=profile.queue_wait_s,
+                     utilization=profile.utilization,
+                     rss_kb=profile.peak_rss_kb)
 
 
 def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],

@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.common.config import MemoryConfig
 from repro.common.stats import StatGroup
 from repro.mem.dram import DEFAULT_DDR3, Ddr3Timing
+from repro.obs import trace as obs_trace
 
 DEFAULT_N_BANKS = 8
 
@@ -48,6 +49,8 @@ class BankedMemoryChannel:
         self._bank_free: List[float] = [0.0] * n_banks
         self._bus_free = 0.0
         self.stats = StatGroup("banked-memory")
+        self._obs_countdown = 0
+        timing.register_observability(core_hz)
 
     @property
     def transfer_cycles(self) -> float:
@@ -78,9 +81,19 @@ class BankedMemoryChannel:
         data_ready, _ = self._serve(now, address)
         self.stats.add("reads")
         latency = data_ready - now
-        self.stats.add("queue_wait_cycles",
-                       max(0.0, latency - self._access_cycles
-                           - self.transfer_cycles))
+        queue_wait = max(0.0, latency - self._access_cycles
+                         - self.transfer_cycles)
+        self.stats.add("queue_wait_cycles", queue_wait)
+        channel = obs_trace.MEM
+        if channel is not None:
+            self._obs_countdown = getattr(self, "_obs_countdown", 0) - 1
+            if self._obs_countdown <= 0:
+                self._obs_countdown = obs_trace.mem_sample_interval()
+                channel.emit("queue_sample", channel=self.stats.name,
+                             now=now, wait=queue_wait,
+                             backlog=self._bus_free - now,
+                             reads=int(self.stats.get("reads")),
+                             writes=int(self.stats.get("writes")))
         return latency
 
     def write(self, now: float, address: int = 0,

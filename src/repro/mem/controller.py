@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.common.config import MemoryConfig
 from repro.common.stats import StatGroup
+from repro.obs import trace as obs_trace
 
 
 class MemoryChannel:
@@ -27,6 +28,26 @@ class MemoryChannel:
         self.config = config
         self._free_at = 0.0
         self.stats = StatGroup("memory")
+        self._obs_countdown = 0
+
+    def _sample_occupancy(self, now: float, queue_wait: float) -> None:
+        """Trace every Nth request's queueing state (``REPRO_OBS_SAMPLE``).
+
+        ``backlog`` is how far the channel's next free slot sits past
+        ``now`` after scheduling this transfer — the queue depth in
+        cycles that produces the paper's bandwidth-starvation curves.
+        """
+        channel = obs_trace.MEM
+        if channel is None:
+            return
+        self._obs_countdown -= 1
+        if self._obs_countdown > 0:
+            return
+        self._obs_countdown = obs_trace.mem_sample_interval()
+        channel.emit("queue_sample", channel=self.stats.name, now=now,
+                     wait=queue_wait, backlog=self._free_at - now,
+                     reads=int(self.stats.get("reads")),
+                     writes=int(self.stats.get("writes")))
 
     @property
     def transfer_cycles(self) -> float:
@@ -47,6 +68,7 @@ class MemoryChannel:
         self.stats.add("reads")
         queue_wait = start - now
         self.stats.add("queue_wait_cycles", queue_wait)
+        self._sample_occupancy(now, queue_wait)
         return queue_wait + self.config.dram_latency_cycles + occupancy
 
     def write(self, now: float, address: int = 0,
@@ -55,6 +77,7 @@ class MemoryChannel:
         start = max(now, self._free_at)
         self._free_at = start + self._occupancy(data)
         self.stats.add("writes")
+        self._sample_occupancy(now, start - now)
 
     def _occupancy(self, data: Optional[bytes]) -> float:
         """Channel occupancy of one transfer (subclass hook)."""

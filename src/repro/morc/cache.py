@@ -42,6 +42,7 @@ from repro.compression.tag_compression import (
 from repro.morc.lmt import LineMapTable, LmtEntry, LmtState
 from repro.morc.log import Log, LogEntry
 from repro.morc.policies import PlacementCandidate, choose_log
+from repro.obs import trace as obs_trace
 
 UNCOMPRESSED_LINE_BITS = LINE_SIZE * 8
 UNCOMPRESSED_TAG_BITS = FULL_TAG_BITS + VALID_BITS
@@ -201,6 +202,10 @@ class MorcCache(LLCInterface):
             # (appends never modify a log; paper §3.1 write-backs).
             self.logs[lmt_entry.log_index].invalidate(lmt_entry.entry_ref)
             self.stats.add("superseded_lines")
+            channel = obs_trace.LLC
+            if channel is not None:
+                channel.emit("evict", cache=self.name, reason="superseded",
+                             dirty=False, log=lmt_entry.log_index)
         log_entry = self._append_line(line_address, data, result)
         lmt_entry.state = LmtState.MODIFIED if modified else LmtState.VALID
         lmt_entry.log_index = log_entry.log_index
@@ -214,6 +219,10 @@ class MorcCache(LLCInterface):
         victim: LogEntry = conflict.entry_ref
         log.invalidate(victim)
         self.stats.add("lmt_conflict_evictions")
+        channel = obs_trace.LLC
+        if channel is not None:
+            channel.emit("evict", cache=self.name, reason="lmt_conflict",
+                         dirty=conflict.is_modified, log=conflict.log_index)
         if conflict.is_modified:
             # The line must be decompressed and written back to memory.
             self.stats.add("decompressed_lines", victim.position + 1)
@@ -300,6 +309,10 @@ class MorcCache(LLCInterface):
         self.stats.add("compressions")
         self.stats.add("compressed_data_bits", data_bits)
         self.stats.add("compressed_tag_bits", tag_bits)
+        channel = obs_trace.LLC
+        if channel is not None:
+            channel.emit("insert", cache=self.name, log=log.index,
+                         bits=data_bits, tag_bits=tag_bits)
         return log.append(line_address, data, data_bits, tag_bits,
                           compressed=compressed)
 
@@ -325,6 +338,11 @@ class MorcCache(LLCInterface):
         retiring.last_use = self._clock  # closure counts as a use
         self._closed_fifo.append(retiring.index)
         self.stats.add("log_closures")
+        channel = obs_trace.LLC
+        if channel is not None:
+            channel.emit("log_close", cache=self.name, log=retiring.index,
+                         entries=retiring.n_entries,
+                         free_bits=retiring.free_data_bits)
         fresh = self._acquire_fresh_log(result)
         self._active[slot] = fresh.index
         return fresh
@@ -361,12 +379,16 @@ class MorcCache(LLCInterface):
         """Whole-log eviction: decompress everything, write back dirty lines."""
         self.stats.add("log_flushes")
         self.stats.add("decompressed_lines", log.n_entries)
+        channel = obs_trace.LLC
         for entry in log.entries:
             if not entry.valid:
                 continue
             lmt_entry: Optional[LmtEntry] = entry.lmt_ref
             if lmt_entry is None or lmt_entry.entry_ref is not entry:
                 raise CacheError("log entry lost its LMT back-pointer")
+            if channel is not None:
+                channel.emit("evict", cache=self.name, reason="log_flush",
+                             dirty=lmt_entry.is_modified, log=log.index)
             if lmt_entry.is_modified:
                 result.writebacks.append(
                     (entry.line_address * LINE_SIZE, entry.data))

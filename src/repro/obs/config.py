@@ -1,0 +1,84 @@
+"""Observability configuration: env knobs parsed once, mutable for tests.
+
+Knobs (all read at import, overridable via :func:`repro.obs.configure`):
+
+- ``REPRO_OBS`` — master switch (default **off**: the simulator must
+  cost nothing and stay bit-identical when nobody is watching).
+- ``REPRO_OBS_TRACE`` — JSONL event-trace path (default
+  ``repro_obs.jsonl`` in the working directory).
+- ``REPRO_OBS_CATEGORIES`` — comma-separated subset of
+  :data:`ALL_CATEGORIES` to trace (default: all).
+- ``REPRO_OBS_SAMPLE`` — memory-channel occupancy sampling interval in
+  requests (default 64; 1 traces every request).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.common.errors import ConfigError
+
+#: every event category the tracer knows
+ALL_CATEGORIES: Tuple[str, ...] = ("llc", "compression", "mem", "run",
+                                   "engine")
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """One immutable snapshot of the observability switches."""
+
+    enabled: bool = False
+    trace_path: str = "repro_obs.jsonl"
+    categories: FrozenSet[str] = field(
+        default_factory=lambda: frozenset(ALL_CATEGORIES))
+    mem_sample_interval: int = 64
+
+    def category_enabled(self, category: str) -> bool:
+        return self.enabled and category in self.categories
+
+
+def _parse_categories(raw: str) -> FrozenSet[str]:
+    names = frozenset(part.strip() for part in raw.split(",")
+                      if part.strip())
+    unknown = names - frozenset(ALL_CATEGORIES)
+    if unknown:
+        raise ConfigError(
+            f"REPRO_OBS_CATEGORIES has unknown categories "
+            f"{sorted(unknown)}; choose from {list(ALL_CATEGORIES)}")
+    return names or frozenset(ALL_CATEGORIES)
+
+
+def load_from_env() -> ObsConfig:
+    """Build an :class:`ObsConfig` from the process environment."""
+    enabled = (os.environ.get("REPRO_OBS", "0").strip().lower()
+               not in _FALSY)
+    trace_path = os.environ.get("REPRO_OBS_TRACE", "repro_obs.jsonl")
+    categories = _parse_categories(
+        os.environ.get("REPRO_OBS_CATEGORIES", ""))
+    raw_interval = os.environ.get("REPRO_OBS_SAMPLE", "64")
+    try:
+        interval = int(raw_interval)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_OBS_SAMPLE must be an integer, got {raw_interval!r}")
+    if interval < 1:
+        raise ConfigError(
+            f"REPRO_OBS_SAMPLE must be >= 1, got {interval}")
+    return ObsConfig(enabled=enabled, trace_path=trace_path,
+                     categories=categories, mem_sample_interval=interval)
+
+
+_current: ObsConfig = load_from_env()
+
+
+def current() -> ObsConfig:
+    return _current
+
+
+def set_current(config: ObsConfig) -> None:
+    global _current
+    _current = config

@@ -1,0 +1,48 @@
+"""Reader for JSONL observability traces.
+
+The inverse of :mod:`repro.obs.trace`: streams records back as dicts,
+tolerating the realities of multi-process appends (a torn final line
+from a killed run, stray blank lines).  ``repro obs`` and the round-trip
+tests both go through this reader, so what the summariser sees is by
+construction what the tracer wrote.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from typing import Iterator, List, Tuple
+
+
+def _open_text(path: str) -> io.TextIOBase:
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def read_events(path: str) -> Iterator[dict]:
+    """Yield every well-formed record in file order."""
+    events, _ = read_all(path)
+    return iter(events)
+
+
+def read_all(path: str) -> Tuple[List[dict], int]:
+    """All well-formed records plus the count of malformed lines."""
+    events: List[dict] = []
+    malformed = 0
+    with _open_text(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+            else:
+                malformed += 1
+    return events, malformed

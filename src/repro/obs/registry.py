@@ -1,0 +1,212 @@
+"""Near-zero-overhead metrics registry: Counter, Gauge, Histogram, Timer.
+
+With observability off (``REPRO_OBS=0``, the default) every accessor
+returns a shared null instrument whose methods are empty — call sites
+keep a single attribute call on their cold paths and no per-event state
+is retained anywhere.  With it on, instruments are real and
+:meth:`MetricsRegistry.as_dict` snapshots everything for reports.
+
+Instruments are created on first use and identified by dotted names
+(``"engine.cell_seconds"``), mirroring :class:`repro.common.stats
+.StatGroup`'s no-registration ergonomics but with typed instruments and
+bounded-memory histograms (:class:`repro.obs.reservoir.Reservoir`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.obs import config as _config
+from repro.obs.reservoir import Reservoir
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins scalar (occupancy, configuration, utilization)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution over a fixed-size reservoir."""
+
+    __slots__ = ("name", "reservoir")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        self.name = name
+        self.reservoir = Reservoir(capacity=capacity)
+
+    def observe(self, value: float) -> None:
+        self.reservoir.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self.reservoir.count
+
+    @property
+    def total(self) -> float:
+        return self.reservoir.total
+
+    @property
+    def mean(self) -> float:
+        return self.reservoir.mean
+
+    def quantile(self, q: float) -> float:
+        return self.reservoir.quantile(q)
+
+    def as_dict(self) -> Dict[str, float]:
+        r = self.reservoir
+        return {"count": r.count, "mean": r.mean,
+                "min": r.min if r.count else 0.0,
+                "max": r.max if r.count else 0.0,
+                "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+
+class Timer:
+    """Context-manager stopwatch feeding a histogram of seconds."""
+
+    __slots__ = ("name", "histogram", "_started")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        self.name = name
+        self.histogram = Histogram(name, capacity=capacity)
+        self._started = 0.0
+
+    def observe_s(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.histogram.observe(time.perf_counter() - self._started)
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for every instrument type."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_s(self, seconds: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {}
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first access."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+        if not self.enabled:
+            return _NULL
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, capacity=capacity)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        if not self.enabled:
+            return _NULL
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """Snapshot every instrument (empty when disabled)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(
+                self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.as_dict() for n, h in sorted(
+                self._histograms.items())},
+            "timers": {n: t.histogram.as_dict() for n, t in sorted(
+                self._timers.items())},
+        }
+
+
+_registry = MetricsRegistry(_config.current().enabled)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (null-instrument mode when obs is off)."""
+    return _registry
+
+
+def refresh() -> None:
+    """Rebuild the registry after a configuration change (drops values)."""
+    global _registry
+    _registry = MetricsRegistry(_config.current().enabled)

@@ -32,11 +32,18 @@ class ExperimentTiming:
 
 @dataclass(frozen=True)
 class CellTiming:
-    """Wall-clock of one simulation cell, as measured in its worker."""
+    """Wall-clock of one simulation cell, as measured in its worker.
+
+    ``queue_wait_s`` is how long the cell sat in the pool's inbox before
+    its worker picked it up; ``peak_rss_kb`` is the worker's resident-set
+    high-water mark after the cell (see :mod:`repro.obs.profiling`).
+    """
 
     label: str
     seconds: float
     worker_pid: int
+    queue_wait_s: float = 0.0
+    peak_rss_kb: int = 0
 
 
 _experiment_timings: List[ExperimentTiming] = []

@@ -23,6 +23,7 @@ from repro.cache.base import FillResult, LLCInterface
 from repro.cache.l1 import L1Cache
 from repro.common.config import SystemConfig
 from repro.mem.controller import MemoryChannel
+from repro.obs import trace as obs_trace
 from repro.sim.metrics import RunMetrics
 from repro.workloads.trace import TraceRecord
 
@@ -76,6 +77,11 @@ class CoreSimulator:
         histogram = getattr(self.llc, "latency_bytes_histogram", None)
         if histogram is not None:
             histogram.clear()
+        channel = obs_trace.RUN
+        if channel is not None:
+            # Lets the trace summariser discard warm-up ratio samples,
+            # mirroring the stats reset above.
+            channel.emit("measure_start", cache=self.llc.name)
 
     def step(self, record: TraceRecord) -> None:
         """Execute one memory access (plus its preceding gap)."""

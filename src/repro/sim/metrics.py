@@ -3,14 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
 
 from repro.common.words import LINE_SIZE
+from repro.obs.reservoir import MissSeries, series_total
 
 
 @dataclass
 class RunMetrics:
-    """Counters and timing for one simulated program."""
+    """Counters and timing for one simulated program.
+
+    ``miss_latencies``/``miss_gaps`` are bounded
+    :class:`~repro.obs.reservoir.MissSeries` reservoirs, not plain
+    lists: they stream exact count/sum (so ``len`` and the mean-based
+    properties never degrade) and keep at most
+    ``MissSeries.DEFAULT_CAPACITY`` samples, fixing the unbounded
+    per-miss memory growth long runs used to pay.
+    """
 
     instructions: int = 0
     cycles: float = 0.0
@@ -21,9 +29,9 @@ class RunMetrics:
     memory_reads: int = 0
     memory_writes: int = 0
     #: total LLC-and-beyond service latency per L1 miss (throughput model)
-    miss_latencies: List[float] = field(default_factory=list)
+    miss_latencies: MissSeries = field(default_factory=MissSeries)
     #: compute cycles between consecutive L1 misses (event-driven CGMT)
-    miss_gaps: List[float] = field(default_factory=list)
+    miss_gaps: MissSeries = field(default_factory=MissSeries)
 
     @property
     def ipc(self) -> float:
@@ -53,7 +61,7 @@ class RunMetrics:
     @property
     def compute_cycles(self) -> float:
         """Cycles net of memory stalls (gap execution under CPI=1)."""
-        return self.cycles - sum(self.miss_latencies)
+        return self.cycles - series_total(self.miss_latencies)
 
     def snapshot(self) -> "MetricsSnapshot":
         """Capture current scalar totals for later warm-up subtraction."""
@@ -116,6 +124,14 @@ class MetricsSnapshot:
         measured.memory_reads = metrics.memory_reads - self.memory_reads
         measured.memory_writes = (metrics.memory_writes
                                   - self.memory_writes)
-        measured.miss_latencies = metrics.miss_latencies[self.n_latencies:]
-        measured.miss_gaps = metrics.miss_gaps[self.n_latencies:]
+        measured.miss_latencies = _tail(metrics.miss_latencies,
+                                        self.n_latencies)
+        measured.miss_gaps = _tail(metrics.miss_gaps, self.n_latencies)
         return measured
+
+
+def _tail(series, n_earlier: int):
+    """Miss values after the snapshot point, reservoir- or list-backed."""
+    if isinstance(series, MissSeries):
+        return series.since(n_earlier)
+    return series[n_earlier:]

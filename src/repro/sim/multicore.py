@@ -22,6 +22,7 @@ from repro.cache.l1 import L1Cache
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
 from repro.mem.controller import MemoryChannel
+from repro.obs import trace as obs_trace
 from repro.sim.core import CoreSimulator
 from repro.sim.metrics import MetricsSnapshot, RunMetrics
 
@@ -94,6 +95,10 @@ class MultiCoreSystem:
                     if all(s is not None for s in snapshots):
                         self.llc.stats.reset()
                         self.memory.stats.reset()
+                        channel = obs_trace.RUN
+                        if channel is not None:
+                            channel.emit("measure_start",
+                                         cache=self.llc.name)
                 still_live.append((index, iterator))
             live = still_live
         self.llc.sample_ratio()

@@ -9,6 +9,7 @@ This is the main entry point the examples and experiments drive:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -24,6 +25,8 @@ from repro.common.config import CacheGeometry, SystemConfig
 from repro.common.errors import ConfigError
 from repro.mem.controller import MemoryChannel
 from repro.morc.cache import MorcCache
+from repro.obs import trace as obs_trace
+from repro.obs.registry import get_registry
 from repro.sim.core import CoreSimulator
 from repro.sim.energy import EnergyBreakdown, compute_energy
 from repro.sim.metrics import RunMetrics
@@ -144,15 +147,45 @@ def run_single_program(benchmark: str, scheme: str,
     config = config or SystemConfig()
     if inclusive_writes is None:
         inclusive_writes = config.morc.inclusive_writes
-    llc = llc or make_llc(scheme, config,
-                          compression_enabled=compression_enabled)
-    memory = memory or MemoryChannel(config.memory)
-    core = CoreSimulator(llc, memory, config,
-                         inclusive_writes=inclusive_writes)
-    total = int(n_instructions / max(1e-9, 1.0 - warmup_fraction))
-    trace = make_trace(benchmark, total, seed_offset=seed_offset)
-    metrics = core.run(trace,
-                       warmup_instructions=total - n_instructions)
+    traced = obs_trace.tracing_active()
+    if traced:
+        obs_trace.set_context(run=obs_trace.next_run_id(),
+                              benchmark=benchmark, scheme=scheme)
+        run_channel = obs_trace.RUN
+        if run_channel is not None:
+            run_channel.emit("run_start", n_instructions=n_instructions)
+    started = time.perf_counter()
+    try:
+        llc = llc or make_llc(scheme, config,
+                              compression_enabled=compression_enabled)
+        memory = memory or MemoryChannel(config.memory)
+        core = CoreSimulator(llc, memory, config,
+                             inclusive_writes=inclusive_writes)
+        total = int(n_instructions / max(1e-9, 1.0 - warmup_fraction))
+        trace = make_trace(benchmark, total, seed_offset=seed_offset)
+        metrics = core.run(trace,
+                           warmup_instructions=total - n_instructions)
+        result = _finish_single(benchmark, scheme, metrics, llc)
+        if traced:
+            run_channel = obs_trace.RUN
+            if run_channel is not None:
+                run_channel.emit("run_end",
+                                 ratio=result.compression_ratio,
+                                 ipc=result.ipc,
+                                 bandwidth_gb=result.bandwidth_gb)
+        return result
+    finally:
+        registry = get_registry()
+        registry.counter("sim.single_runs").inc()
+        registry.timer("sim.run_single_program_s").observe_s(
+            time.perf_counter() - started)
+        if traced:
+            obs_trace.clear_context("run", "benchmark", "scheme")
+
+
+def _finish_single(benchmark: str, scheme: str, metrics: RunMetrics,
+                   llc: LLCInterface) -> SingleRunResult:
+    """Package a finished core run into a :class:`SingleRunResult`."""
     # Static power scales with the LLC actually simulated (the 8x
     # baseline must pay for its 8x larger array — Figure 9a's point).
     llc_bytes = getattr(llc, "capacity_bytes", None)
@@ -232,19 +265,46 @@ def run_multi_program(mix: str, scheme: str,
     """
     from repro.sim.multicore import MultiCoreSystem
     config = config or SystemConfig()
-    n_threads = 16
-    shared_config = config.with_bandwidth(
-        config.memory.bandwidth_bytes_per_sec * n_threads)
-    llc = make_llc(scheme, config,
-                   capacity_bytes=config.llc_per_core.size_bytes * n_threads)
-    memory = MemoryChannel(shared_config.memory)
-    total_each = int(n_instructions_each / max(1e-9, 1.0 - warmup_fraction))
-    warmup_each = total_each - n_instructions_each
-    system = MultiCoreSystem(llc, memory, config, n_threads=n_threads)
-    result = system.run(mix_programs(mix, total_each,
-                                     synchronized=synchronized),
-                        warmup_instructions=warmup_each)
-    return MultiProgramResult(
-        mix=mix, scheme=scheme, per_thread=result.per_thread,
-        compression_ratio=result.compression_ratio,
-        llc_stats=result.llc_stats)
+    traced = obs_trace.tracing_active()
+    if traced:
+        obs_trace.set_context(run=obs_trace.next_run_id(),
+                              benchmark=mix, scheme=scheme)
+        run_channel = obs_trace.RUN
+        if run_channel is not None:
+            run_channel.emit("run_start", mix=mix,
+                             n_instructions=n_instructions_each)
+    started = time.perf_counter()
+    try:
+        n_threads = 16
+        shared_config = config.with_bandwidth(
+            config.memory.bandwidth_bytes_per_sec * n_threads)
+        llc = make_llc(
+            scheme, config,
+            capacity_bytes=config.llc_per_core.size_bytes * n_threads)
+        memory = MemoryChannel(shared_config.memory)
+        total_each = int(n_instructions_each
+                         / max(1e-9, 1.0 - warmup_fraction))
+        warmup_each = total_each - n_instructions_each
+        system = MultiCoreSystem(llc, memory, config, n_threads=n_threads)
+        result = system.run(mix_programs(mix, total_each,
+                                         synchronized=synchronized),
+                            warmup_instructions=warmup_each)
+        multi = MultiProgramResult(
+            mix=mix, scheme=scheme, per_thread=result.per_thread,
+            compression_ratio=result.compression_ratio,
+            llc_stats=result.llc_stats)
+        if traced:
+            run_channel = obs_trace.RUN
+            if run_channel is not None:
+                run_channel.emit("run_end",
+                                 ratio=multi.compression_ratio,
+                                 ipc=multi.geomean_ipc,
+                                 bandwidth_gb=multi.bandwidth_gb)
+        return multi
+    finally:
+        registry = get_registry()
+        registry.counter("sim.multi_runs").inc()
+        registry.timer("sim.run_multi_program_s").observe_s(
+            time.perf_counter() - started)
+        if traced:
+            obs_trace.clear_context("run", "benchmark", "scheme")

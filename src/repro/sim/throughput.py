@@ -17,11 +17,17 @@ do not.
 
 from __future__ import annotations
 
+from repro.obs.reservoir import series_scale
 from repro.sim.metrics import RunMetrics
 
 
 def coarse_grain_throughput(metrics: RunMetrics, threads: int = 4) -> float:
-    """Aggregate IPC of a ``threads``-way CGMT core running this workload."""
+    """Aggregate IPC of a ``threads``-way CGMT core running this workload.
+
+    ``miss_latencies`` may be a bounded reservoir: iterating yields its
+    stored samples, and the per-sample weight (``series_scale``, exactly
+    1.0 until the reservoir overflows) restores the full-stream total.
+    """
     if threads < 1:
         raise ValueError("need at least one thread")
     if metrics.cycles <= 0:
@@ -36,8 +42,9 @@ def coarse_grain_throughput(metrics: RunMetrics, threads: int = 4) -> float:
         # the same property cancels it out.
         return metrics.instructions / compute if compute else 0.0
     gap = compute / n_misses
-    total_cycles = sum(max(threads * gap, gap + latency)
-                       for latency in metrics.miss_latencies)
+    total_cycles = series_scale(metrics.miss_latencies) * sum(
+        max(threads * gap, gap + latency)
+        for latency in metrics.miss_latencies)
     if total_cycles <= 0:
         return 0.0
     return threads * metrics.instructions / total_cycles

@@ -1,0 +1,119 @@
+"""Metrics registry: exact instruments when enabled, no-ops when not."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    _NULL,
+    get_registry,
+)
+
+
+@pytest.fixture
+def enabled_obs(tmp_path):
+    obs.configure(enabled=True, trace_path=str(tmp_path / "t.jsonl"))
+    yield
+    obs.reset()
+
+
+def test_counter_and_gauge_exact():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("llc.fills")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == pytest.approx(3.5)
+    gauge = registry.gauge("dram.frequency_hz")
+    gauge.set(800e6)
+    gauge.set(933e6)
+    assert gauge.value == pytest.approx(933e6)
+
+
+def test_histogram_counts_and_quantiles_exact():
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram("latency", capacity=256)
+    for value in range(101):
+        histogram.observe(float(value))
+    assert histogram.count == 101
+    assert histogram.mean == pytest.approx(50.0)
+    assert histogram.quantile(0.5) == 50.0
+    snapshot = histogram.as_dict()
+    assert snapshot["count"] == 101
+    assert snapshot["min"] == 0.0
+    assert snapshot["max"] == 100.0
+    assert snapshot["p50"] == 50.0
+    assert snapshot["p95"] == 95.0
+
+
+def test_timer_records_elapsed():
+    registry = MetricsRegistry(enabled=True)
+    timer = registry.timer("run")
+    with timer:
+        pass
+    timer.observe_s(0.25)
+    assert timer.histogram.count == 2
+    assert timer.histogram.reservoir.max >= 0.25
+
+
+def test_instruments_are_cached_by_name():
+    registry = MetricsRegistry(enabled=True)
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert registry.timer("t") is registry.timer("t")
+
+
+def test_disabled_registry_hands_out_null_instruments():
+    registry = MetricsRegistry(enabled=False)
+    assert registry.counter("x") is _NULL
+    assert registry.gauge("x") is _NULL
+    assert registry.histogram("x") is _NULL
+    assert registry.timer("x") is _NULL
+    # the null instrument absorbs the full instrument API
+    null = registry.counter("x")
+    null.inc()
+    null.set(5.0)
+    null.observe(1.0)
+    null.observe_s(1.0)
+    with null:
+        pass
+    assert null.value == 0.0
+    assert null.quantile(0.9) == 0.0
+    assert null.as_dict() == {}
+    assert registry.as_dict() == {"counters": {}, "gauges": {},
+                                  "histograms": {}, "timers": {}}
+
+
+def test_as_dict_snapshot():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("runs").inc(3)
+    registry.gauge("freq").set(2.0)
+    registry.histogram("lat").observe(4.0)
+    snapshot = registry.as_dict()
+    assert snapshot["counters"] == {"runs": 3.0}
+    assert snapshot["gauges"] == {"freq": 2.0}
+    assert snapshot["histograms"]["lat"]["count"] == 1
+
+
+def test_process_registry_follows_configuration(enabled_obs):
+    registry = get_registry()
+    assert registry.enabled
+    assert isinstance(registry.counter("c"), Counter)
+    assert isinstance(registry.gauge("g"), Gauge)
+    assert isinstance(registry.histogram("h"), Histogram)
+    assert isinstance(registry.timer("t"), Timer)
+    obs.configure(enabled=False)
+    assert get_registry().counter("c") is _NULL
+
+
+def test_default_process_registry_is_disabled(monkeypatch):
+    # REPRO_OBS defaults off: the ambient registry must cost nothing.
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    obs.reset()
+    assert get_registry().counter("anything") is _NULL
