@@ -87,6 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
                                        default=None)
         experiment_parser.add_argument("-n", "--instructions", type=int,
                                        default=None)
+        experiment_parser.add_argument(
+            "--checkpoint", default=None, metavar="PATH",
+            help="journal every finished cell to PATH so a killed "
+                 "sweep can be resumed")
+        experiment_parser.add_argument(
+            "--resume", default=None, metavar="PATH",
+            help="resume from checkpoint PATH, re-running only "
+                 "missing/failed cells (implies --checkpoint PATH)")
+        experiment_parser.add_argument(
+            "--on-error", dest="on_error", default=None,
+            choices=("raise", "skip", "retry"),
+            help="what a failed cell does to the grid "
+                 "(default REPRO_ON_ERROR or raise)")
 
     report_parser = subparsers.add_parser(
         "report", help="run the full evaluation and write a markdown "
@@ -154,7 +167,31 @@ def _command_experiment(name: str, args: argparse.Namespace) -> int:
         key = ("n_instructions_each" if name == "figure8"
                else "n_instructions")
         kwargs[key] = args.instructions
-    print(module.render(module.run(**kwargs)))
+    checkpoint = (getattr(args, "resume", None)
+                  or getattr(args, "checkpoint", None))
+    on_error = getattr(args, "on_error", None)
+    if checkpoint or on_error:
+        from repro.experiments.parallel import EngineOptions
+        kwargs["engine"] = EngineOptions(
+            on_error=on_error, checkpoint=checkpoint,
+            resume=bool(getattr(args, "resume", None)))
+    result = module.run(**kwargs)
+    from repro.experiments import parallel
+    errors = parallel.last_errors()
+    if errors:
+        # Under --on-error skip/retry the grid completed around the
+        # failed cells, but the table math can't aggregate CellError
+        # slots — report the failures instead of a traceback.
+        print(f"{len(errors)} cell(s) failed; partial results "
+              "not rendered:", file=sys.stderr)
+        for cell in errors:
+            print(f"  {cell.summary()}", file=sys.stderr)
+        if checkpoint:
+            print(f"finished cells are journaled; re-run with "
+                  f"--resume {checkpoint} to complete the grid",
+                  file=sys.stderr)
+        return 1
+    print(module.render(result))
     return 0
 
 
@@ -188,6 +225,16 @@ def _command_list() -> int:
                        "(default 1)"),
         ("REPRO_SCALE", "scale factor for default instruction "
                         "counts"),
+        ("REPRO_ON_ERROR", "failed-cell policy: raise, skip or "
+                           "retry (default raise)"),
+        ("REPRO_RETRIES", "retry attempts per cell under "
+                          "on_error=retry (default 2)"),
+        ("REPRO_RETRY_BACKOFF", "base retry backoff seconds, doubled "
+                                "per attempt + jitter (default 0.05)"),
+        ("REPRO_CELL_TIMEOUT", "per-cell wall-clock timeout seconds, "
+                               "pool mode (default 0 = off)"),
+        ("REPRO_FAULT_INJECT", "deterministic fault injection, e.g. "
+                               "crash@10%,flaky@1,hang@0:1.5,kill@3"),
     )
     for knob, description in knobs:
         print(f"  {knob:<22}{description}")

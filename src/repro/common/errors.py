@@ -2,7 +2,15 @@
 
 All exceptions raised by this library derive from :class:`ReproError` so
 callers can catch library failures without catching unrelated bugs.
+
+:class:`CellError` is not an exception: it is the structured *record* of
+a failed experiment-engine cell (see
+:mod:`repro.experiments.parallel`), returned in the cell's result slot
+when the engine runs with ``on_error="skip"``/``"retry"`` so one
+poisoned cell cannot throw away the rest of a grid.
 """
+
+from dataclasses import dataclass
 
 
 class ReproError(Exception):
@@ -23,3 +31,37 @@ class CacheError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace was malformed or exhausted unexpectedly."""
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Structured record of one failed experiment-engine cell.
+
+    Occupies the failed cell's slot in the grid's result list, so
+    callers can tell exactly which (benchmark, scheme) cells failed
+    while every other cell's result is intact.  ``kind`` is ``"error"``
+    for a captured worker exception and ``"timeout"`` when the cell
+    exceeded ``REPRO_CELL_TIMEOUT``.
+    """
+
+    label: str
+    exception: str
+    traceback: str
+    attempts: int
+    kind: str = "error"
+
+    def summary(self) -> str:
+        return (f"{self.label}: {self.kind} after {self.attempts} "
+                f"attempt(s): {self.exception}")
+
+
+class CellFailedError(ReproError):
+    """A grid cell failed and the engine ran with ``on_error="raise"``.
+
+    Carries the :class:`CellError` record (including the worker-side
+    traceback) as ``.cell``.
+    """
+
+    def __init__(self, cell: CellError) -> None:
+        super().__init__(cell.summary() + "\n" + cell.traceback)
+        self.cell = cell

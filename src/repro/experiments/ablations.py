@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
@@ -45,7 +45,8 @@ class AblationResult:
 
 @timed_experiment("ablations")
 def run(benchmarks: Optional[Sequence[str]] = None,
-        n_instructions: Optional[int] = None) -> AblationResult:
+        n_instructions: Optional[int] = None,
+        engine: Optional[EngineOptions] = None) -> AblationResult:
     benchmarks = list(benchmarks or ABLATION_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
@@ -76,7 +77,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         arms.append((f"{ways}-way LMT", specs_for(
             "MORC", SystemConfig().with_morc(lmt_ways=ways))))
 
-    runs = iter(run_cells([spec for _, specs in arms for spec in specs]))
+    runs = iter(run_cells([spec for _, specs in arms
+                           for spec in specs], engine=engine))
     by_arm = {label: [next(runs) for _ in specs] for label, specs in arms}
 
     def ratios(label: str) -> List[float]:

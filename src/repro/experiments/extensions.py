@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
@@ -41,7 +41,8 @@ class ExtensionResult:
 
 @timed_experiment("extensions")
 def run(benchmarks: Optional[Sequence[str]] = None,
-        n_instructions: Optional[int] = None) -> ExtensionResult:
+        n_instructions: Optional[int] = None,
+        engine: Optional[EngineOptions] = None) -> ExtensionResult:
     benchmarks = list(benchmarks or EXTENSION_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS // 2)
@@ -65,7 +66,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
                      label=f"{benchmark}/{label}")
              for label, scheme, channel in configurations
              for benchmark in benchmarks]
-    runs = iter(run_cells(specs))
+    runs = iter(run_cells(specs, engine=engine))
     throughputs = {
         label: [coarse_grain_throughput(next(runs).metrics)
                 for _ in benchmarks]

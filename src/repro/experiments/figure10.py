@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -48,7 +48,8 @@ class FigureTenResult:
 def run(benchmarks: Optional[Sequence[str]] = None,
         bandwidths_mb_s: Sequence[float] = BANDWIDTHS_MB_S,
         n_instructions: Optional[int] = None,
-        schemes: Sequence[str] = SCHEMES) -> FigureTenResult:
+        schemes: Sequence[str] = SCHEMES,
+        engine: Optional[EngineOptions] = None) -> FigureTenResult:
     benchmarks = list(benchmarks or SWEEP_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS // 2)
@@ -63,7 +64,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
              for bandwidth in bandwidths_mb_s
              for scheme in all_schemes
              for benchmark in benchmarks]
-    runs = iter(run_cells(specs))
+    runs = iter(run_cells(specs, engine=engine))
     result = FigureTenResult(bandwidths_mb_s=list(bandwidths_mb_s))
     for scheme in schemes:
         result.normalized_ipc[scheme] = []

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -41,7 +41,8 @@ class FigureElevenResult:
 @timed_experiment("figure11")
 def run(benchmarks: Optional[Sequence[str]] = None,
         sizes_kb: Sequence[int] = CACHE_SIZES_KB,
-        n_instructions: Optional[int] = None) -> FigureElevenResult:
+        n_instructions: Optional[int] = None,
+        engine: Optional[EngineOptions] = None) -> FigureElevenResult:
     benchmarks = list(benchmarks or SWEEP_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS // 2)
@@ -53,7 +54,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
              for size_kb in sizes_kb
              for benchmark in benchmarks
              for scheme in ("Uncompressed", "MORC")]
-    runs = iter(run_cells(specs))
+    runs = iter(run_cells(specs, engine=engine))
     result = FigureElevenResult(sizes_kb=list(sizes_kb))
     for _ in sizes_kb:
         ratios, bw_ratios, tp_ratios = [], [], []

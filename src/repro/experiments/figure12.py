@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -37,7 +37,8 @@ class InvalidRatioOutcome:
 @timed_experiment("figure12")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
-        config: Optional[SystemConfig] = None) -> List[InvalidRatioOutcome]:
+        config: Optional[SystemConfig] = None,
+        engine: Optional[EngineOptions] = None) -> List[InvalidRatioOutcome]:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
@@ -49,7 +50,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
                      label=f"{benchmark}/inclusive={inclusive}")
              for benchmark in benchmarks
              for inclusive in (True, False)]
-    runs = run_cells(specs)
+    runs = run_cells(specs, engine=engine)
     return [InvalidRatioOutcome(
                 benchmark=benchmark,
                 inclusive_pct=runs[2 * index].invalid_fraction * 100.0,

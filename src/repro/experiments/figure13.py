@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -45,7 +45,8 @@ class FigureThirteenResult:
 def run(benchmarks: Optional[Sequence[str]] = None,
         log_sizes: Sequence[int] = LOG_SIZES,
         active_counts: Sequence[int] = ACTIVE_LOG_COUNTS,
-        n_instructions: Optional[int] = None) -> FigureThirteenResult:
+        n_instructions: Optional[int] = None,
+        engine: Optional[EngineOptions] = None) -> FigureThirteenResult:
     benchmarks = list(benchmarks or SWEEP_BENCHMARKS)
     # Limit studies need the cache's capacity to bind (logs recycling);
     # short traces leave every configuration residency-capped and flat.
@@ -66,7 +67,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
                                                       n_instructions),
                       label=f"{benchmark}/logs={count}")
               for count in active_counts for benchmark in benchmarks]
-    runs = iter(run_cells(specs))
+    runs = iter(run_cells(specs, engine=engine))
     result = FigureThirteenResult(benchmarks=benchmarks)
     for log_size in log_sizes:
         result.by_log_size[log_size] = [

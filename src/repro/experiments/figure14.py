@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     instructions_for,
@@ -55,7 +55,8 @@ def bin_histogram(histogram: Dict[int, int]) -> Dict[str, float]:
 @timed_experiment("figure14")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
-        config: Optional[SystemConfig] = None) -> List[LatencyDistribution]:
+        config: Optional[SystemConfig] = None,
+        engine: Optional[EngineOptions] = None) -> List[LatencyDistribution]:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
@@ -65,7 +66,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
              for benchmark in benchmarks]
     return [LatencyDistribution(benchmark,
                                 bin_histogram(run_result.latency_histogram))
-            for benchmark, run_result in zip(benchmarks, run_cells(specs))]
+            for benchmark, run_result
+            in zip(benchmarks, run_cells(specs, engine=engine))]
 
 
 def render(distributions: List[LatencyDistribution]) -> str:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -36,7 +36,8 @@ class MergedOutcome:
 @timed_experiment("figure15")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
-        config: Optional[SystemConfig] = None) -> List[MergedOutcome]:
+        config: Optional[SystemConfig] = None,
+        engine: Optional[EngineOptions] = None) -> List[MergedOutcome]:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
@@ -46,7 +47,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
                                                      n_instructions))
              for benchmark in benchmarks
              for scheme in ("MORC", "MORCMerged")]
-    runs = run_cells(specs)
+    runs = run_cells(specs, engine=engine)
     return [MergedOutcome(
                 benchmark=benchmark,
                 morc_ratio=runs[2 * index].compression_ratio,

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.compression.oracle import OracleCache
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import EngineOptions, parallel_map
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -80,14 +80,16 @@ def _oracle_cell(cell: tuple) -> tuple:
 
 @timed_experiment("figure2")
 def run(benchmarks: Optional[Sequence[str]] = None,
-        n_instructions: Optional[int] = None) -> List[OracleOutcome]:
+        n_instructions: Optional[int] = None,
+        engine: Optional[EngineOptions] = None) -> List[OracleOutcome]:
     """Run the Figure 2 limit study (3 oracle cells per benchmark)."""
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
     cells = [(benchmark, instructions_for(benchmark, n_instructions), mode)
              for benchmark in benchmarks for mode in _MODES]
-    results = iter(parallel_map(_oracle_cell, cells, label="oracle"))
+    results = iter(parallel_map(_oracle_cell, cells, label="oracle",
+                                engine=engine))
     outcomes: List[OracleOutcome] = []
     for benchmark in benchmarks:
         _, base_misses = next(results)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -65,7 +65,8 @@ class FigureSixResult:
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None,
-        schemes: Sequence[str] = SCHEMES) -> FigureSixResult:
+        schemes: Sequence[str] = SCHEMES,
+        engine: Optional[EngineOptions] = None) -> FigureSixResult:
     """Run every (benchmark, scheme) pair of Figure 6, in parallel."""
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
@@ -75,7 +76,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
                      n_instructions=instructions_for(benchmark,
                                                      n_instructions))
              for scheme in schemes for benchmark in benchmarks]
-    runs = run_cells(specs)
+    runs = run_cells(specs, engine=engine)
     result = FigureSixResult(benchmarks=benchmarks)
     for index, scheme in enumerate(schemes):
         result.runs[scheme] = runs[index * len(benchmarks):

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     instructions_for,
@@ -42,7 +42,8 @@ class SymbolDistribution:
 @timed_experiment("figure7")
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
-        config: Optional[SystemConfig] = None) -> List[SymbolDistribution]:
+        config: Optional[SystemConfig] = None,
+        engine: Optional[EngineOptions] = None) -> List[SymbolDistribution]:
     """Collect LBE symbol usage from MORC runs."""
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
@@ -53,7 +54,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
              for benchmark in benchmarks]
     return [_distribution(benchmark, run_result.symbol_counters,
                           run_result.symbol_zero_counters)
-            for benchmark, run_result in zip(benchmarks, run_cells(specs))]
+            for benchmark, run_result
+            in zip(benchmarks, run_cells(specs, engine=engine))]
 
 
 def _distribution(benchmark: str, counters: Dict[str, float],

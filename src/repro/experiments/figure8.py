@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import MultiProgramSpec, run_multi_cells
+from repro.experiments.parallel import (EngineOptions, MultiProgramSpec,
+                                        run_multi_cells)
 from repro.experiments.report import series_table
 from repro.experiments.runner import (
     DEFAULT_MULTI_INSTRUCTIONS,
@@ -78,7 +79,8 @@ class FigureEightResult:
 def run(mixes: Optional[Sequence[str]] = None,
         n_instructions_each: Optional[int] = None,
         config: Optional[SystemConfig] = None,
-        schemes: Sequence[str] = SCHEMES) -> FigureEightResult:
+        schemes: Sequence[str] = SCHEMES,
+        engine: Optional[EngineOptions] = None) -> FigureEightResult:
     """Run the multi-program workloads under every scheme, in parallel."""
     mixes = list(mixes or DEFAULT_MIXES)
     for mix in mixes:
@@ -89,7 +91,7 @@ def run(mixes: Optional[Sequence[str]] = None,
     specs = [MultiProgramSpec(mix, scheme, config=config,
                               n_instructions_each=n_each)
              for scheme in schemes for mix in mixes]
-    runs = run_multi_cells(specs)
+    runs = run_multi_cells(specs, engine=engine)
     result = FigureEightResult(mixes=mixes)
     for index, scheme in enumerate(schemes):
         result.runs[scheme] = runs[index * len(mixes):

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import format_table, series_table
 from repro.experiments.runner import (
     instructions_for,
@@ -60,7 +60,8 @@ class FigureNineResult:
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
         config: Optional[SystemConfig] = None,
-        schemes: Sequence[str] = SCHEMES) -> FigureNineResult:
+        schemes: Sequence[str] = SCHEMES,
+        engine: Optional[EngineOptions] = None) -> FigureNineResult:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS)
@@ -69,7 +70,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
                      n_instructions=instructions_for(benchmark,
                                                      n_instructions))
              for scheme in schemes for benchmark in benchmarks]
-    runs = run_cells(specs)
+    runs = run_cells(specs, engine=engine)
     result = FigureNineResult(benchmarks=benchmarks)
     for index, scheme in enumerate(schemes):
         result.runs[scheme] = runs[index * len(benchmarks):

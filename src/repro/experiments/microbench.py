@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.experiments.parallel import parallel_map
+from repro.experiments.parallel import EngineOptions, parallel_map
 from repro.experiments.report import series_table
 from repro.experiments.runner import scale_instructions
 from repro.mem.controller import MemoryChannel
@@ -52,13 +52,15 @@ def _micro_cell(cell: tuple) -> tuple:
 @timed_experiment("microbench")
 def run(micros: Optional[Sequence[str]] = None,
         n_instructions: Optional[int] = None,
-        schemes: Sequence[str] = SCHEMES) -> MicrobenchResult:
+        schemes: Sequence[str] = SCHEMES,
+        engine: Optional[EngineOptions] = None) -> MicrobenchResult:
     micros = list(micros or MICROBENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_MICRO_INSTRUCTIONS)
     cells = [(micro, scheme, n_instructions)
              for scheme in schemes for micro in micros]
-    outcomes = iter(parallel_map(_micro_cell, cells, label="micro"))
+    outcomes = iter(parallel_map(_micro_cell, cells, label="micro",
+                                 engine=engine))
     result = MicrobenchResult(micros=micros)
     for scheme in schemes:
         ratios, miss_rates = [], []

@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.parallel import EngineOptions, RunSpec, run_cells
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
@@ -66,7 +66,8 @@ class VarianceResult:
 def run(benchmarks: Optional[Sequence[str]] = None,
         n_seeds: int = DEFAULT_SEEDS,
         n_instructions: Optional[int] = None,
-        schemes: Sequence[str] = SCHEMES) -> VarianceResult:
+        schemes: Sequence[str] = SCHEMES,
+        engine: Optional[EngineOptions] = None) -> VarianceResult:
     benchmarks = list(benchmarks or VARIANCE_BENCHMARKS)
     n_instructions = n_instructions or scale_instructions(
         DEFAULT_INSTRUCTIONS // 2)
@@ -78,7 +79,7 @@ def run(benchmarks: Optional[Sequence[str]] = None,
              for benchmark in benchmarks
              for scheme in schemes
              for seed in range(n_seeds)]
-    runs = iter(run_cells(specs))
+    runs = iter(run_cells(specs, engine=engine))
     result = VarianceResult(benchmarks=benchmarks, n_seeds=n_seeds)
     for benchmark in benchmarks:
         for scheme in schemes:

@@ -5,6 +5,12 @@ tolerating the realities of multi-process appends (a torn final line
 from a killed run, stray blank lines).  ``repro obs`` and the round-trip
 tests both go through this reader, so what the summariser sees is by
 construction what the tracer wrote.
+
+:func:`read_events` is a true line-by-line generator — a full bench
+grid emits 368k+ events, and the summariser must not buffer them all
+before seeing the first one.  :func:`read_all` is the materialising
+wrapper for callers that want the whole list plus a malformed-line
+count.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import gzip
 import io
 import json
-from typing import Iterator, List, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 
 def _open_text(path: str) -> io.TextIOBase:
@@ -21,16 +27,15 @@ def _open_text(path: str) -> io.TextIOBase:
     return open(path, "r", encoding="utf-8")
 
 
-def read_events(path: str) -> Iterator[dict]:
-    """Yield every well-formed record in file order."""
-    events, _ = read_all(path)
-    return iter(events)
+def read_events(path: str,
+                on_malformed: Optional[Callable[[str], None]] = None,
+                ) -> Iterator[dict]:
+    """Yield every well-formed record in file order, one line at a time.
 
-
-def read_all(path: str) -> Tuple[List[dict], int]:
-    """All well-formed records plus the count of malformed lines."""
-    events: List[dict] = []
-    malformed = 0
+    ``on_malformed`` (if given) is called with each skipped line, which
+    is how :func:`read_all` counts them without forcing every streaming
+    caller to care.
+    """
     with _open_text(path) as handle:
         for line in handle:
             line = line.strip()
@@ -39,10 +44,22 @@ def read_all(path: str) -> Tuple[List[dict], int]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                malformed += 1
+                if on_malformed is not None:
+                    on_malformed(line)
                 continue
             if isinstance(record, dict):
-                events.append(record)
-            else:
-                malformed += 1
+                yield record
+            elif on_malformed is not None:
+                on_malformed(line)
+
+
+def read_all(path: str) -> Tuple[List[dict], int]:
+    """All well-formed records plus the count of malformed lines."""
+    malformed = 0
+
+    def count(_line: str) -> None:
+        nonlocal malformed
+        malformed += 1
+
+    events = list(read_events(path, count))
     return events, malformed

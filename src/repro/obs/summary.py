@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.report import format_table
-from repro.obs.reader import read_all
+from repro.obs.reader import read_events
 
 _HISTOGRAM_BUCKETS = 8
 _TIMELINE_BINS = 12
@@ -70,6 +70,9 @@ class TraceSummary:
     runs: Dict[str, RunDigest] = field(default_factory=dict)
     engine_cells: List[dict] = field(default_factory=list)
     engine_workers: List[dict] = field(default_factory=list)
+    engine_errors: List[dict] = field(default_factory=list)
+    engine_retries: List[dict] = field(default_factory=list)
+    engine_resumes: List[dict] = field(default_factory=list)
 
 
 def _digest(summary: TraceSummary, event: dict) -> RunDigest:
@@ -85,11 +88,19 @@ def _digest(summary: TraceSummary, event: dict) -> RunDigest:
 
 
 def summarize(path: str) -> TraceSummary:
-    """Parse one trace file into a :class:`TraceSummary`."""
-    events, malformed = read_all(path)
-    summary = TraceSummary(path=path, n_events=len(events),
-                           n_malformed=malformed)
-    for event in events:
+    """Parse one trace file into a :class:`TraceSummary`.
+
+    Streams the trace (:func:`~repro.obs.reader.read_events`) rather
+    than materialising it — full bench grids produce hundreds of
+    thousands of events.
+    """
+    summary = TraceSummary(path=path)
+
+    def count_malformed(_line: str) -> None:
+        summary.n_malformed += 1
+
+    for event in read_events(path, count_malformed):
+        summary.n_events += 1
         category = event.get("cat", "?")
         kind = event.get("ev", "?")
         summary.events_by_category[category] += 1
@@ -127,6 +138,12 @@ def summarize(path: str) -> TraceSummary:
                 summary.engine_cells.append(event)
             elif kind == "worker":
                 summary.engine_workers.append(event)
+            elif kind == "cell_error":
+                summary.engine_errors.append(event)
+            elif kind == "cell_retry":
+                summary.engine_retries.append(event)
+            elif kind == "resume":
+                summary.engine_resumes.append(event)
     return summary
 
 
@@ -243,6 +260,34 @@ def _render_engine(summary: TraceSummary) -> str:
         rows, title="Experiment-engine workers", precision=2)
 
 
+def _render_faults(summary: TraceSummary, top: int) -> str:
+    blocks = []
+    for resume in summary.engine_resumes:
+        blocks.append(f"Resumed from {resume.get('checkpoint', '?')}: "
+                      f"{int(resume.get('loaded', 0))} cells loaded, "
+                      f"{int(resume.get('remaining', 0))} re-run")
+    if summary.engine_retries:
+        retried = Counter(str(event.get("label", "?"))
+                          for event in summary.engine_retries)
+        rows = [[label, count] for label, count
+                in retried.most_common(top)]
+        blocks.append(format_table(["cell", "retries"], rows,
+                                   title=f"Cell retries "
+                                         f"({len(summary.engine_retries)}"
+                                         f" total, backoff applied)"))
+    if summary.engine_errors:
+        rows = [[str(event.get("label", "?")),
+                 str(event.get("kind", "error")),
+                 int(event.get("attempts", 1)),
+                 str(event.get("error", "?"))[:60]]
+                for event in summary.engine_errors[:top]]
+        blocks.append(format_table(["cell", "kind", "attempts", "error"],
+                                   rows,
+                                   title=f"Cell failures "
+                                         f"({len(summary.engine_errors)})"))
+    return "\n\n".join(blocks)
+
+
 def render(summary: TraceSummary, top: int = 8) -> str:
     """Render the summary as concatenated text tables."""
     header = (f"{summary.path}: {summary.n_events} events "
@@ -260,6 +305,9 @@ def render(summary: TraceSummary, top: int = 8) -> str:
         blocks.append(_render_timeline(summary, top))
     if summary.engine_workers:
         blocks.append(_render_engine(summary))
+    if (summary.engine_errors or summary.engine_retries
+            or summary.engine_resumes):
+        blocks.append(_render_faults(summary, top))
     if len(blocks) == 1:
         blocks.append("no recognised events — was the trace produced "
                       "with REPRO_OBS=1?")

@@ -55,3 +55,13 @@ class TestMain:
     def test_figure8_mix_passthrough(self, capsys):
         assert main(["figure8", "-b", "S6", "-n", "1500"]) == 0
         assert "S6" in capsys.readouterr().out
+
+    def test_skip_mode_reports_failed_cells(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash@1")
+        assert main(["figure6", "-b", "gcc", "-n", "1500",
+                     "--on-error", "skip"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "1 cell(s) failed" in captured.err
+        assert "FaultInjected" in captured.err
