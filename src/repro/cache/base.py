@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 from repro.common.stats import StatGroup
 from repro.obs import trace as obs_trace
+from repro.resilience import verify as _verify
 
 Writeback = Tuple[int, bytes]
 """A dirty line leaving the LLC for memory: (address, data)."""
@@ -79,6 +80,10 @@ class LLCInterface(abc.ABC):
         channel = obs_trace.LLC
         if channel is not None:
             channel.emit("ratio_sample", cache=self.name, ratio=ratio)
+        if _verify.verification_enabled():
+            # REPRO_VERIFY: audit structural invariants at every sample
+            # point; raises VerificationError on the first violation.
+            _verify.audit(self)
 
     def mean_compression_ratio(self) -> float:
         """Average of the sampled ratios (falls back to the current one)."""

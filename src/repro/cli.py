@@ -235,9 +235,17 @@ def _command_list() -> int:
                                "pool mode (default 0 = off)"),
         ("REPRO_FAULT_INJECT", "deterministic fault injection, e.g. "
                                "crash@10%,flaky@1,hang@0:1.5,kill@3"),
+        ("REPRO_SOFT_ERRORS", "soft-error model: flip rate per stored "
+                              "bit or @index[:bit] (default 0 = off)"),
+        ("REPRO_SOFT_ERROR_POLICY", "detected-error recovery: refetch, "
+                                    "raw or failstop (default refetch)"),
+        ("REPRO_SOFT_ERROR_SEED", "seed for deterministic flip offsets "
+                                  "(default 0)"),
+        ("REPRO_VERIFY", "round-trip + invariant self-verification "
+                         "(default 0)"),
     )
     for knob, description in knobs:
-        print(f"  {knob:<22}{description}")
+        print(f"  {knob:<26}{description}")
     return 0
 
 

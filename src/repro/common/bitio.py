@@ -19,7 +19,7 @@ naive writer (see ``repro.perf.reference.ReferenceBitWriter``).
 
 from __future__ import annotations
 
-from repro.common.errors import CompressionError
+from repro.common.errors import CompressionError, CorruptBitstreamError
 
 
 class BitWriter:
@@ -103,25 +103,48 @@ class BitWriter:
 
 
 class BitReader:
-    """Reads bits most-significant-first from a packed stream."""
+    """Reads bits most-significant-first from a packed stream.
 
-    __slots__ = ("_value", "_length", "_pos")
+    With ``strict=True`` the constructor bounds-checks the packed value
+    against the declared ``bit_length`` — a stream whose integer does
+    not fit its advertised width is rejected up front instead of
+    silently decoding from the wrong bit positions.  Read-past-end
+    always raises :class:`CorruptBitstreamError` (a
+    :class:`CompressionError`) carrying the failing bit offset, never
+    ``IndexError``.  :meth:`peek` keeps its zero-padding semantics in
+    both modes — prefix-table decoders rely on short tails being padded
+    on the right.
+    """
 
-    def __init__(self, value: int, bit_length: int) -> None:
+    __slots__ = ("_value", "_length", "_pos", "_strict")
+
+    def __init__(self, value: int, bit_length: int,
+                 strict: bool = False) -> None:
         if bit_length < 0:
             raise CompressionError(f"negative bit length: {bit_length}")
+        if strict:
+            if value < 0:
+                raise CorruptBitstreamError(
+                    f"negative packed value {value}", offset=0)
+            if value.bit_length() > bit_length:
+                raise CorruptBitstreamError(
+                    f"packed value needs {value.bit_length()} bits but "
+                    f"stream declares {bit_length}", offset=0)
         self._value = value
         self._length = bit_length
         self._pos = 0
+        self._strict = strict
 
     @classmethod
-    def from_writer(cls, writer: BitWriter) -> "BitReader":
+    def from_writer(cls, writer: BitWriter,
+                    strict: bool = False) -> "BitReader":
         """Create a reader over everything a writer holds."""
         value, length = writer.getvalue()
-        return cls(value, length)
+        return cls(value, length, strict=strict)
 
     @classmethod
-    def from_bytes(cls, data: bytes, bit_length: int | None = None) -> "BitReader":
+    def from_bytes(cls, data: bytes, bit_length: int | None = None,
+                   strict: bool = False) -> "BitReader":
         """Create a reader from packed bytes (optionally trimmed)."""
         total = len(data) * 8
         if bit_length is None:
@@ -129,7 +152,7 @@ class BitReader:
         if bit_length > total:
             raise CompressionError("bit_length exceeds available data")
         value = int.from_bytes(data, "big") >> (total - bit_length)
-        return cls(value, bit_length)
+        return cls(value, bit_length, strict=strict)
 
     @property
     def remaining(self) -> int:
@@ -146,9 +169,9 @@ class BitReader:
         if width < 0:
             raise CompressionError(f"negative bit width: {width}")
         if width > self._length - self._pos:
-            raise CompressionError(
-                f"bitstream underflow: wanted {width}, have {self.remaining}"
-            )
+            raise CorruptBitstreamError(
+                f"bitstream underflow: wanted {width}, have "
+                f"{self.remaining}", offset=self._pos)
         shift = self._length - self._pos - width
         mask = (1 << width) - 1
         self._pos += width

@@ -25,8 +25,64 @@ class CompressionError(ReproError):
     """A compression or decompression stream was malformed."""
 
 
+class CorruptBitstreamError(CompressionError):
+    """A compressed bitstream failed to decode.
+
+    Raised by the hardened decoders (LBE, C-Pack, FPC, SC2/Huffman) and
+    by :class:`repro.common.bitio.BitReader` instead of a bare
+    ``IndexError`` or a garbage decode.  Carries where and why:
+
+    - ``codec`` — which decoder rejected the stream (``None`` for a raw
+      bit-level underflow);
+    - ``offset`` — bit position at which decoding failed;
+    - ``reason`` — human-readable cause (underflow, unrecognised prefix,
+      dangling dictionary pointer, ...).
+    """
+
+    def __init__(self, reason: str, codec: "str | None" = None,
+                 offset: "int | None" = None) -> None:
+        self.reason = reason
+        self.codec = codec
+        self.offset = offset
+        where = f" [codec={codec}]" if codec else ""
+        at = f" at bit {offset}" if offset is not None else ""
+        super().__init__(f"corrupt bitstream{where}{at}: {reason}")
+
+
 class CacheError(ReproError):
     """A cache operation violated an internal invariant."""
+
+
+class PoisonedLineError(CacheError):
+    """A soft error was detected under the ``failstop`` recovery policy.
+
+    Names the poisoned line so the failure is actionable: which cache,
+    which line address, where it lived, and which stored bit flipped.
+    """
+
+    def __init__(self, cache: str, line_address: int, location: str,
+                 bit: "int | None" = None) -> None:
+        self.cache = cache
+        self.line_address = line_address
+        self.location = location
+        self.bit = bit
+        flipped = f", flipped bit {bit}" if bit is not None else ""
+        super().__init__(
+            f"{cache}: soft error detected in line 0x{line_address:x} "
+            f"({location}{flipped}); policy=failstop")
+
+
+class VerificationError(CacheError):
+    """The self-verification layer found a broken invariant or a line
+    that failed its decompress-and-compare round-trip (``REPRO_VERIFY``).
+
+    ``violations`` lists every failed check."""
+
+    def __init__(self, subject: str, violations: "list[str]") -> None:
+        self.subject = subject
+        self.violations = list(violations)
+        detail = "; ".join(self.violations) or "unknown violation"
+        super().__init__(f"{subject}: verification failed: {detail}")
 
 
 class TraceError(ReproError):

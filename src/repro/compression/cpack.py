@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.common.bitio import BitReader, BitWriter
-from repro.common.errors import CompressionError
+from repro.common.errors import CompressionError, CorruptBitstreamError
 from repro.common.words import LINE_SIZE, check_line, from_words32, words32
 from repro.compression.base import CompressedSize, IntraLineCompressor
 from repro.obs.trace import compression_event
@@ -112,7 +112,12 @@ class _FifoDictionary:
             self._next = (self._next + 1) % DICTIONARY_ENTRIES
 
     def at(self, index: int) -> int:
-        return self._entries[index]
+        try:
+            return self._entries[index]
+        except IndexError:
+            raise CorruptBitstreamError(
+                f"dangling C-Pack pointer: index={index} with "
+                f"{len(self._entries)} entries", codec="cpack") from None
 
 
 class CPackCompressor(IntraLineCompressor):
@@ -177,7 +182,12 @@ class CPackCompressor(IntraLineCompressor):
                 words.append(word)
                 dictionary.push(word)
             else:
-                raise CompressionError(f"unknown C-Pack token {kind!r}")
+                raise CorruptBitstreamError(
+                    f"unknown C-Pack token {kind!r}", codec="cpack")
+        if len(words) != LINE_SIZE // 4:
+            raise CorruptBitstreamError(
+                f"C-Pack stream decodes to {len(words)} words, "
+                f"expected {LINE_SIZE // 4}", codec="cpack")
         return from_words32(words)
 
     def compress(self, line: bytes) -> CompressedSize:
@@ -254,6 +264,7 @@ class CPackCompressor(IntraLineCompressor):
                     tokens.append(("mmmx", reader.read(POINTER_BITS),
                                    reader.read(8)))
                 else:
-                    raise CompressionError(
-                        "unrecognised C-Pack prefix code 1111")
+                    raise CorruptBitstreamError(
+                        "unrecognised C-Pack prefix code 1111",
+                        codec="cpack", offset=reader.position)
         return tokens

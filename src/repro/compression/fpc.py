@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.common.bitio import BitReader, BitWriter
-from repro.common.errors import CompressionError
+from repro.common.errors import CompressionError, CorruptBitstreamError
 from repro.common.words import check_line, from_words32, words32
 from repro.compression.base import CompressedSize, IntraLineCompressor
 from repro.obs.trace import compression_event
@@ -162,9 +162,11 @@ class FpcCompressor(IntraLineCompressor):
             elif kind == "raw":
                 words.append(token[1])
             else:
-                raise CompressionError(f"unknown FPC token {kind!r}")
+                raise CorruptBitstreamError(
+                    f"unknown FPC token {kind!r}", codec="fpc")
         if len(words) != 16:
-            raise CompressionError(f"FPC stream produced {len(words)} words")
+            raise CorruptBitstreamError(
+                f"FPC stream produced {len(words)} words", codec="fpc")
         return from_words32(words)
 
     def compress(self, line: bytes) -> CompressedSize:
@@ -223,8 +225,9 @@ class FpcCompressor(IntraLineCompressor):
                 words += 1
             tokens.append((kind, payload))
         if words != 16:
-            raise CompressionError(
-                f"FPC bit stream decoded to {words} words")
+            raise CorruptBitstreamError(
+                f"FPC bit stream decoded to {words} words", codec="fpc",
+                offset=reader.position)
         return tokens
 
 

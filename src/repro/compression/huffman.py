@@ -18,7 +18,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common.errors import CompressionError
+from repro.common.errors import CompressionError, CorruptBitstreamError
 
 ESCAPE = object()
 """Sentinel symbol for values outside the dictionary."""
@@ -124,13 +124,16 @@ class HuffmanStreamCodec:
         return words
 
     def _decode_one(self, reader):
+        start = reader.position
         value = 0
         for length in range(1, self._max_length + 1):
             value = (value << 1) | reader.read_bit()
             symbol = self._decoder.get((length, value))
             if symbol is not None:
                 return symbol
-        raise CompressionError("bitstream does not decode to a codeword")
+        raise CorruptBitstreamError(
+            "bitstream does not decode to a codeword", codec="huffman",
+            offset=start)
 
 
 def _huffman_lengths(frequencies: Dict[object, int]) -> Dict[object, int]:

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.bitio import BitReader, BitWriter
-from repro.common.errors import CompressionError
+from repro.common.errors import CompressionError, CorruptBitstreamError
 from repro.common.words import LINE_SIZE, ZERO_LINE, check_line
 from repro.obs.trace import compression_event
 from repro.perf.fastpath import fast_paths_enabled
@@ -150,8 +150,9 @@ class LbeDictionary:
         try:
             return self._values[size][index]
         except IndexError:
-            raise CompressionError(
-                f"dangling LBE pointer: size={size} index={index}")
+            raise CorruptBitstreamError(
+                f"dangling LBE pointer: size={size} index={index}",
+                codec="lbe") from None
 
     def insert(self, block: bytes) -> bool:
         """Add ``block`` if its dictionary has room; True if inserted."""
@@ -445,7 +446,8 @@ class LbeCompressor:
                 dictionary.insert(block)
             pieces.append(chunk)
         if next(stream, None) is not None:
-            raise CompressionError("trailing symbols after full line")
+            raise CorruptBitstreamError(
+                "trailing symbols after full line", codec="lbe")
         return b"".join(pieces)
 
     def _decode_block(self, size: int, stream, dictionary: LbeDictionary,
@@ -453,7 +455,8 @@ class LbeCompressor:
         """Decode one aligned block, mirroring the encoder's recursion."""
         symbol = next(stream, None)
         if symbol is None:
-            raise CompressionError("symbol stream ended mid-line")
+            raise CorruptBitstreamError(
+                "symbol stream ended mid-line", codec="lbe")
         if symbol.data_bytes == size:
             if symbol.kind.startswith("z"):
                 return bytes(size)
@@ -461,14 +464,16 @@ class LbeCompressor:
                 return dictionary.value_at(size, symbol.index)
             # literal 32-bit word (only legal at size 4)
             if size != 4:
-                raise CompressionError(
-                    f"literal symbol where a {size}-byte block was expected")
+                raise CorruptBitstreamError(
+                    f"literal symbol where a {size}-byte block was "
+                    f"expected", codec="lbe")
             block = symbol.value.to_bytes(4, "big")
             dictionary.insert(block)
             return block
         if symbol.data_bytes > size or size == 4:
-            raise CompressionError(
-                f"{symbol.kind} cannot start a {size}-byte block")
+            raise CorruptBitstreamError(
+                f"{symbol.kind} cannot start a {size}-byte block",
+                codec="lbe")
         # The encoder decomposed this block: push the symbol back by
         # decoding the halves with a chained iterator.
         chained = _chain_first(symbol, stream)
@@ -510,7 +515,9 @@ class LbeCompressor:
                 symbols.append(Symbol(kind))
             produced += symbols[-1].data_bytes
         if produced != LINE_SIZE:
-            raise CompressionError("symbol stream overruns the line boundary")
+            raise CorruptBitstreamError(
+                "symbol stream overruns the line boundary", codec="lbe",
+                offset=reader.position)
         return CompressedLine(tuple(symbols))
 
 
@@ -554,6 +561,8 @@ def _read_prefix(reader: BitReader) -> str:
     """
     kind, width = _PREFIX_LOOKUP[reader.peek(_MAX_PREFIX_BITS)]
     if width > reader.remaining:
-        raise CompressionError("unrecognised LBE prefix code")
+        raise CorruptBitstreamError(
+            "truncated LBE prefix code", codec="lbe",
+            offset=reader.position)
     reader.read(width)
     return kind

@@ -27,7 +27,7 @@ from collections import Counter, deque
 from typing import Deque, List, Optional
 
 from repro.common.config import MorcConfig
-from repro.common.errors import CacheError
+from repro.common.errors import CacheError, PoisonedLineError
 from repro.common.stats import StatGroup
 from repro.common.words import LINE_SIZE, check_line
 from repro.cache.base import FillResult, LLCInterface, ReadResult
@@ -43,6 +43,9 @@ from repro.morc.lmt import LineMapTable, LmtEntry, LmtState
 from repro.morc.log import Log, LogEntry
 from repro.morc.policies import PlacementCandidate, choose_log
 from repro.obs import trace as obs_trace
+from repro.resilience import config as res_config
+from repro.resilience import verify as res_verify
+from repro.resilience.faults import make_injector
 
 UNCOMPRESSED_LINE_BITS = LINE_SIZE * 8
 UNCOMPRESSED_TAG_BITS = FULL_TAG_BITS + VALID_BITS
@@ -111,6 +114,12 @@ class MorcCache(LLCInterface):
         self._active: List[int] = [self._free_pool.popleft()
                                    for _ in range(cfg.n_active_logs)]
         self.stats = StatGroup(self.name)
+        # Resilience hooks (repro/resilience): injector is None and
+        # _verify False on a clean run, so every hook is one attribute
+        # load plus a branch.
+        self._injector = make_injector()
+        self._raw_fallback: set = set()
+        self._verify = res_verify.verification_enabled()
         #: distribution of decompressed output bytes per hit (Figure 14)
         self.latency_bytes_histogram: Counter = Counter()
         #: LBE symbol usage weighted by represented bytes (Figure 7):
@@ -145,6 +154,8 @@ class MorcCache(LLCInterface):
                 latency += 4
             return ReadResult(False, latency, aliased_miss=aliased)
         log_entry: LogEntry = lmt_entry.entry_ref
+        if log_entry.poison_bit is not None:
+            return self._recover(lmt_entry, log_entry, during="read")
         self._clock += 1
         self.logs[log_entry.log_index].last_use = self._clock
         self.stats.add("read_hits")
@@ -152,6 +163,45 @@ class MorcCache(LLCInterface):
         self.latency_bytes_histogram[log_entry.output_bytes_through] += 1
         return ReadResult(True, self._hit_latency(log_entry),
                           data=log_entry.data)
+
+    # -- soft-error detection and recovery -----------------------------------
+
+    def _recover(self, lmt_entry: LmtEntry, log_entry: LogEntry,
+                 during: str) -> ReadResult:
+        """A poisoned entry was touched: detect, recover per policy.
+
+        The decoder runs (and fails) over the log prefix, so the
+        detection pays the full hit decompression latency and work; the
+        recovery then reports a miss, which routes the refetch through
+        the memory controller's ordinary latency/energy accounting.
+        """
+        policy = res_config.current().policy
+        latency = self._hit_latency(log_entry)
+        self.stats.add("soft_errors_detected")
+        self.stats.add("decompressed_lines", log_entry.position + 1)
+        dirty = lmt_entry.is_modified
+        if policy == "failstop":
+            raise PoisonedLineError(
+                self.name, log_entry.line_address,
+                f"log {log_entry.log_index} entry {log_entry.position}",
+                bit=log_entry.poison_bit)
+        if policy == "raw":
+            self._raw_fallback.add(log_entry.line_address)
+            self.stats.add("raw_fallbacks")
+        self.logs[log_entry.log_index].invalidate(log_entry)
+        self.lmt.release(lmt_entry)
+        self.stats.add("soft_error_recoveries")
+        if dirty:
+            # The only copy was dirty: the modelled refetch restores the
+            # stale memory image, i.e. the write is lost.
+            self.stats.add("soft_error_data_loss")
+        channel = obs_trace.RESILIENCE
+        if channel is not None:
+            channel.emit("recovery", cache=self.name,
+                         line=log_entry.line_address, policy=policy,
+                         during=during, dirty=dirty,
+                         bit=log_entry.poison_bit)
+        return ReadResult(False, latency)
 
     def fill(self, address: int, data: bytes) -> FillResult:
         self.stats.add("fills")
@@ -241,10 +291,12 @@ class MorcCache(LLCInterface):
 
     def _trial_all(self, line_address: int,
                    data: bytes) -> List[PlacementCandidate]:
+        raw = bool(self._raw_fallback) and line_address in self._raw_fallback
         candidates: List[PlacementCandidate] = []
         for index in self._active:
             log = self.logs[index]
-            data_bits = self._trial_data_bits(log, data)
+            data_bits = (UNCOMPRESSED_LINE_BITS if raw
+                         else self._trial_data_bits(log, data))
             tag_bits = self._trial_tag_bits(log, line_address)
             candidates.append(PlacementCandidate(log, data_bits, tag_bits))
             self.stats.add("trial_compressions")
@@ -278,12 +330,26 @@ class MorcCache(LLCInterface):
 
     def _commit_append(self, log: Log, line_address: int,
                        data: bytes) -> LogEntry:
-        if self.compression_enabled and self._cpack is not None:
+        raw = bool(self._raw_fallback) and line_address in self._raw_fallback
+        if raw and self.compression_enabled:
+            # raw recovery policy: this line's data is stored
+            # uncompressed (and is assumed ECC-protected, so it is not
+            # an injection target); its tag still joins the compressed
+            # tag stream, which the decoder does not need to recover
+            # the data payload.
+            compressed = None
+            data_bits = UNCOMPRESSED_LINE_BITS
+            token = self._tag_compressor.append(log.tag_stream, line_address)
+            tag_bits = token.size_bits
+        elif self.compression_enabled and self._cpack is not None:
             compressed = None
             data_bits = min(self._cpack.compress(data).size_bits,
                             UNCOMPRESSED_LINE_BITS)
             token = self._tag_compressor.append(log.tag_stream, line_address)
             tag_bits = token.size_bits
+            if self._verify:
+                res_verify.verify_intraline_roundtrip(self._cpack, data,
+                                                      self.name)
         elif self.compression_enabled and self._lz is not None:
             compressed = None
             lz_compressed = self._lz.compress(data, self._lz_history(log),
@@ -292,12 +358,17 @@ class MorcCache(LLCInterface):
             token = self._tag_compressor.append(log.tag_stream, line_address)
             tag_bits = token.size_bits
         elif self.compression_enabled:
+            snapshot = log.dictionary.copy() if self._verify else None
             compressed = self._compressor.compress(data, log.dictionary,
                                                    commit=True)
             data_bits = min(compressed.size_bits, UNCOMPRESSED_LINE_BITS)
             token = self._tag_compressor.append(log.tag_stream, line_address)
             tag_bits = token.size_bits
             self._account_symbols(compressed, data)
+            if snapshot is not None:
+                res_verify.verify_lbe_roundtrip(
+                    self._compressor, data, snapshot, compressed,
+                    self.name)
         else:
             compressed = None
             data_bits = UNCOMPRESSED_LINE_BITS
@@ -313,8 +384,20 @@ class MorcCache(LLCInterface):
         if channel is not None:
             channel.emit("insert", cache=self.name, log=log.index,
                          bits=data_bits, tag_bits=tag_bits)
-        return log.append(line_address, data, data_bits, tag_bits,
-                          compressed=compressed)
+        entry = log.append(line_address, data, data_bits, tag_bits,
+                           compressed=compressed)
+        if (self._injector is not None and self.compression_enabled
+                and not raw):
+            flip = self._injector.flip_for(data_bits)
+            if flip is not None:
+                entry.poison_bit = flip
+                self.stats.add("soft_errors_injected")
+                channel = obs_trace.RESILIENCE
+                if channel is not None:
+                    channel.emit("soft_error", cache=self.name,
+                                 line=line_address, log=log.index,
+                                 bit=flip, bits=data_bits)
+        return entry
 
     def _account_symbols(self, compressed, data: bytes) -> None:
         """Track Figure 7's per-symbol usage (bytes represented + zeros)."""
@@ -386,6 +469,9 @@ class MorcCache(LLCInterface):
             lmt_entry: Optional[LmtEntry] = entry.lmt_ref
             if lmt_entry is None or lmt_entry.entry_ref is not entry:
                 raise CacheError("log entry lost its LMT back-pointer")
+            if entry.poison_bit is not None:
+                self._recover_at_flush(lmt_entry, entry)
+                continue
             if channel is not None:
                 channel.emit("evict", cache=self.name, reason="log_flush",
                              dirty=lmt_entry.is_modified, log=log.index)
@@ -395,3 +481,33 @@ class MorcCache(LLCInterface):
                 self.stats.add("flush_writebacks")
             self.lmt.release(lmt_entry)
             log.invalidate(entry)
+
+    def _recover_at_flush(self, lmt_entry: LmtEntry,
+                          entry: LogEntry) -> None:
+        """Flush hit a poisoned entry: the decode fails mid-log.
+
+        A dirty poisoned line cannot be written back — the write is
+        lost; a clean one is simply dropped (memory still holds it).
+        """
+        policy = res_config.current().policy
+        self.stats.add("soft_errors_detected")
+        if policy == "failstop":
+            raise PoisonedLineError(
+                self.name, entry.line_address,
+                f"log {entry.log_index} entry {entry.position} "
+                f"(during flush)", bit=entry.poison_bit)
+        if policy == "raw":
+            self._raw_fallback.add(entry.line_address)
+            self.stats.add("raw_fallbacks")
+        dirty = lmt_entry.is_modified
+        self.stats.add("soft_error_recoveries")
+        if dirty:
+            self.stats.add("soft_error_data_loss")
+        channel = obs_trace.RESILIENCE
+        if channel is not None:
+            channel.emit("recovery", cache=self.name,
+                         line=entry.line_address, policy=policy,
+                         during="flush", dirty=dirty,
+                         bit=entry.poison_bit)
+        self.lmt.release(lmt_entry)
+        self.logs[entry.log_index].invalidate(entry)

@@ -166,3 +166,38 @@ class LineMapTable:
         if self.unlimited:
             return sum(1 for e in self._unlimited_map.values() if e.is_valid)
         return sum(1 for s in self._sets for e in s if e.is_valid)
+
+    def audit(self) -> List[str]:
+        """Check the table's structural invariants; returns violations.
+
+        Used by the ``REPRO_VERIFY`` auditor
+        (:func:`repro.resilience.verify.audit`).
+        """
+        violations: List[str] = []
+        if self.unlimited:
+            for line_address, entry in self._unlimited_map.items():
+                if entry.is_valid and entry.line_address != line_address:
+                    violations.append(
+                        f"LMT: entry keyed 0x{line_address:x} records "
+                        f"line 0x{entry.line_address:x}")
+            return violations
+        for set_index, entries in enumerate(self._sets):
+            seen: Dict[int, bool] = {}
+            for entry in entries:
+                if not entry.is_valid:
+                    continue
+                if entry.entry_ref is None:
+                    violations.append(
+                        f"LMT set {set_index}: valid entry for line "
+                        f"0x{entry.line_address:x} has no log entry")
+                if entry.line_address % self.n_sets != set_index:
+                    violations.append(
+                        f"LMT set {set_index}: line "
+                        f"0x{entry.line_address:x} maps to set "
+                        f"{entry.line_address % self.n_sets}")
+                if entry.line_address in seen:
+                    violations.append(
+                        f"LMT set {set_index}: line "
+                        f"0x{entry.line_address:x} tracked twice")
+                seen[entry.line_address] = True
+        return violations

@@ -35,6 +35,9 @@ class LogEntry:
     compressed: Optional[CompressedLine] = None
     lmt_ref: Optional[object] = None  # back-pointer to the tracking LmtEntry
     log_index: int = -1  # which log holds this entry
+    #: stored bit flipped by an injected soft error, or None when clean;
+    #: poison is logical — detection happens on the next read/flush
+    poison_bit: Optional[int] = None
 
     @property
     def output_bytes_through(self) -> int:
@@ -137,3 +140,47 @@ class Log:
         """Fraction of the data region holding (valid or dead) bits."""
         used = self.data_bits_used + (self.tag_bits_used if self.merged else 0)
         return used / self.data_capacity_bits if self.data_capacity_bits else 0.0
+
+    def audit(self) -> List[str]:
+        """Check this log's accounting invariants; returns violations.
+
+        Used by the ``REPRO_VERIFY`` auditor
+        (:func:`repro.resilience.verify.audit`); an empty list means the
+        log is consistent.
+        """
+        violations: List[str] = []
+        data_bits = sum(entry.data_bits for entry in self.entries)
+        tag_bits = sum(entry.tag_bits for entry in self.entries)
+        valid = sum(1 for entry in self.entries if entry.valid)
+        if data_bits != self.data_bits_used:
+            violations.append(
+                f"log {self.index}: data_bits_used={self.data_bits_used} "
+                f"but entries sum to {data_bits}")
+        if tag_bits != self.tag_bits_used:
+            violations.append(
+                f"log {self.index}: tag_bits_used={self.tag_bits_used} "
+                f"but entries sum to {tag_bits}")
+        if valid != self.valid_count:
+            violations.append(
+                f"log {self.index}: valid_count={self.valid_count} but "
+                f"{valid} entries are valid")
+        occupancy = data_bits + (tag_bits if self.merged else 0)
+        if occupancy > self.data_capacity_bits:
+            violations.append(
+                f"log {self.index}: {occupancy} bits exceed the "
+                f"{self.data_capacity_bits}-bit data region")
+        if (not self.merged and self.tag_capacity_bits is not None
+                and tag_bits > self.tag_capacity_bits):
+            violations.append(
+                f"log {self.index}: {tag_bits} tag bits exceed the "
+                f"{self.tag_capacity_bits}-bit tag region")
+        for position, entry in enumerate(self.entries):
+            if entry.position != position:
+                violations.append(
+                    f"log {self.index}: entry {position} records "
+                    f"position {entry.position}")
+            if entry.log_index != self.index:
+                violations.append(
+                    f"log {self.index}: entry {position} records log "
+                    f"{entry.log_index}")
+        return violations

@@ -22,7 +22,7 @@ from repro.common.errors import ConfigError
 
 #: every event category the tracer knows
 ALL_CATEGORIES: Tuple[str, ...] = ("llc", "compression", "mem", "run",
-                                   "engine")
+                                   "engine", "resilience")
 
 _FALSY = ("", "0", "false", "no", "off")
 

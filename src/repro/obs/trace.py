@@ -68,6 +68,7 @@ COMPRESSION: Optional[Channel] = None
 MEM: Optional[Channel] = None
 RUN: Optional[Channel] = None
 ENGINE: Optional[Channel] = None
+RESILIENCE: Optional[Channel] = None
 
 
 def channel(category: str) -> Optional[Channel]:
@@ -77,7 +78,7 @@ def channel(category: str) -> Optional[Channel]:
 
 def tracing_active() -> bool:
     """True when at least one category channel is live."""
-    return any((LLC, COMPRESSION, MEM, RUN, ENGINE))
+    return any((LLC, COMPRESSION, MEM, RUN, ENGINE, RESILIENCE))
 
 
 _run_seq = 0
@@ -92,7 +93,7 @@ def next_run_id() -> str:
 
 def refresh() -> None:
     """Rebind the category channels from the current configuration."""
-    global LLC, COMPRESSION, MEM, RUN, ENGINE, _fd, _fd_path
+    global LLC, COMPRESSION, MEM, RUN, ENGINE, RESILIENCE, _fd, _fd_path
     cfg = _config.current()
     if _fd is not None:
         os.close(_fd)

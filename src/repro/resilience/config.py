@@ -1,0 +1,139 @@
+"""Resilience configuration: env knobs parsed once, mutable for tests.
+
+Knobs (all read at import, overridable via
+:func:`repro.resilience.configure`):
+
+- ``REPRO_SOFT_ERRORS`` — fault model spec (default **off**):
+
+  - a float rate like ``1e-4`` — expected bit-flips per stored
+    compressed payload *bit*, injected deterministically at insert time
+    (an accumulator scheme: no RNG, same trace + same seed = same
+    flips);
+  - ``@N`` — poison exactly the ``N``-th compressed insert (0-based,
+    counted per injector/cache), nothing else;
+  - ``@N:B`` — same, flipping stored bit ``B`` of that payload.
+
+- ``REPRO_SOFT_ERROR_POLICY`` — what a detected soft error does
+  (default ``refetch``):
+
+  - ``refetch`` — drop the poisoned copy and report a miss, so the
+    core refetches through the memory controller (latency + DRAM
+    energy are modelled by the ordinary miss path);
+  - ``raw`` — refetch, plus all future inserts of that line address
+    fall back to uncompressed storage;
+  - ``failstop`` — raise :class:`repro.common.errors.PoisonedLineError`
+    naming the poisoned line.
+
+- ``REPRO_SOFT_ERROR_SEED`` — integer seed for the deterministic flip
+  offsets (default 0).
+- ``REPRO_VERIFY`` — opt-in self-verification (default off):
+  decompress-and-compare every insert plus periodic cache-invariant
+  audits; failures raise
+  :class:`repro.common.errors.VerificationError` and emit
+  ``verify_fail`` events.
+
+With everything at its default the subsystem is fully inert: the
+injector is ``None``, verification is off, and every hook collapses to
+one attribute load and a branch, keeping figure/table outputs
+bit-identical to an unhooked build.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+
+RECOVERY_POLICIES = ("refetch", "raw", "failstop")
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """One immutable snapshot of the resilience switches."""
+
+    rate: float = 0.0
+    index: Optional[int] = None
+    bit: Optional[int] = None
+    policy: str = "refetch"
+    seed: int = 0
+    verify: bool = False
+
+    @property
+    def inject(self) -> bool:
+        """True when the fault model is active at all."""
+        return self.rate > 0.0 or self.index is not None
+
+
+def parse_soft_errors(
+        raw: "Optional[str]",
+) -> "tuple[float, Optional[int], Optional[int]]":
+    """Parse a ``REPRO_SOFT_ERRORS`` spec into (rate, index, bit)."""
+    if raw is None:
+        return 0.0, None, None
+    raw = str(raw).strip()
+    if raw.lower() in _FALSY:
+        return 0.0, None, None
+    if raw.startswith("@"):
+        body = raw[1:]
+        index_part, sep, bit_part = body.partition(":")
+        try:
+            index = int(index_part)
+            if sep and not bit_part:
+                raise ValueError("empty bit field")
+            bit = int(bit_part) if bit_part else None
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_SOFT_ERRORS index spec must be @N or @N:B, "
+                f"got {raw!r}")
+        if index < 0 or (bit is not None and bit < 0):
+            raise ConfigError(
+                f"REPRO_SOFT_ERRORS index/bit must be >= 0, got {raw!r}")
+        return 0.0, index, bit
+    try:
+        rate = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_SOFT_ERRORS must be a flip rate or @index[:bit], "
+            f"got {raw!r}")
+    if rate < 0.0 or rate > 1.0:
+        raise ConfigError(
+            f"REPRO_SOFT_ERRORS rate must be in [0, 1], got {rate}")
+    return rate, None, None
+
+
+def load_from_env() -> ResilienceConfig:
+    """Build a :class:`ResilienceConfig` from the process environment."""
+    rate, index, bit = parse_soft_errors(
+        os.environ.get("REPRO_SOFT_ERRORS", "0"))
+    policy = os.environ.get(
+        "REPRO_SOFT_ERROR_POLICY", "refetch").strip().lower()
+    if policy not in RECOVERY_POLICIES:
+        raise ConfigError(
+            f"REPRO_SOFT_ERROR_POLICY must be one of "
+            f"{list(RECOVERY_POLICIES)}, got {policy!r}")
+    raw_seed = os.environ.get("REPRO_SOFT_ERROR_SEED", "0")
+    try:
+        seed = int(raw_seed)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_SOFT_ERROR_SEED must be an integer, got {raw_seed!r}")
+    verify = (os.environ.get("REPRO_VERIFY", "0").strip().lower()
+              not in _FALSY)
+    return ResilienceConfig(rate=rate, index=index, bit=bit,
+                            policy=policy, seed=seed, verify=verify)
+
+
+_current: ResilienceConfig = load_from_env()
+
+
+def current() -> ResilienceConfig:
+    return _current
+
+
+def set_current(config: ResilienceConfig) -> None:
+    global _current
+    _current = config

@@ -17,6 +17,7 @@ from __future__ import annotations
 import gzip
 import io
 import struct
+import zlib
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator, List, Union
 
@@ -27,6 +28,10 @@ from repro.workloads.trace import TraceRecord
 MAGIC = b"MORCTRC1"
 _HEADER = struct.Struct("<8sQ")
 _RECORD = struct.Struct("<QBI")
+
+_MAX_ADDRESS = 2 ** 64 - 1
+_MAX_GAP = 2 ** 32 - 1
+_KNOWN_FLAGS = 0x01  # bit0 = is_write; the rest are reserved
 
 PathLike = Union[str, Path]
 
@@ -48,13 +53,32 @@ def write_trace(path: PathLike, records: Iterable[TraceRecord]) -> int:
     buffered: List[TraceRecord] = list(records)
     with _open(path, "wb") as stream:
         stream.write(_HEADER.pack(MAGIC, len(buffered)))
-        for record in buffered:
-            if len(record.data) != LINE_SIZE:
-                raise TraceError("record data must be one full line")
+        for index, record in enumerate(buffered):
+            _check_record(record, index)
             flags = 1 if record.is_write else 0
             stream.write(_RECORD.pack(record.address, flags, record.gap))
             stream.write(record.data)
     return len(buffered)
+
+
+def _check_record(record: TraceRecord, index: int) -> None:
+    """Validate one record against the on-disk field widths."""
+    if not isinstance(record.data, (bytes, bytearray)):
+        raise TraceError(
+            f"record {index}: data is {type(record.data).__name__}, "
+            f"expected bytes")
+    if len(record.data) != LINE_SIZE:
+        raise TraceError(
+            f"record {index}: data is {len(record.data)} bytes, "
+            f"expected one full {LINE_SIZE}-byte line")
+    if not 0 <= record.address <= _MAX_ADDRESS:
+        raise TraceError(
+            f"record {index}: address {record.address:#x} does not fit "
+            f"an unsigned 64-bit field")
+    if not 0 <= record.gap <= _MAX_GAP:
+        raise TraceError(
+            f"record {index}: gap {record.gap} does not fit an "
+            f"unsigned 32-bit field")
 
 
 def read_trace(path: PathLike) -> List[TraceRecord]:
@@ -63,22 +87,45 @@ def read_trace(path: PathLike) -> List[TraceRecord]:
 
 
 def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
-    """Stream records from a trace file."""
+    """Stream records from a trace file.
+
+    Decode failures — truncation, a corrupt gzip stream, reserved flag
+    bits — raise :class:`TraceError` naming the failing record, never a
+    bare ``struct.error``/``EOFError``/``BadGzipFile``.
+    """
     with _open(path, "rb") as stream:
-        header = stream.read(_HEADER.size)
-        if len(header) != _HEADER.size:
-            raise TraceError("truncated trace header")
+        header = _read_exact(stream, _HEADER.size, "trace header")
         magic, count = _HEADER.unpack(header)
         if magic != MAGIC:
             raise TraceError(f"not a MORC trace file: magic={magic!r}")
         for index in range(count):
-            fixed = stream.read(_RECORD.size)
-            data = stream.read(LINE_SIZE)
-            if len(fixed) != _RECORD.size or len(data) != LINE_SIZE:
-                raise TraceError(f"truncated record {index}")
+            fixed = _read_exact(stream, _RECORD.size, f"record {index}")
+            data = _read_exact(stream, LINE_SIZE,
+                               f"record {index} line data")
             address, flags, gap = _RECORD.unpack(fixed)
+            if flags & ~_KNOWN_FLAGS:
+                raise TraceError(
+                    f"record {index}: unknown flag bits {flags:#04x} "
+                    f"(known mask {_KNOWN_FLAGS:#04x})")
             yield TraceRecord(address=address, is_write=bool(flags & 1),
                               gap=gap, data=data)
+
+
+def _read_exact(stream: BinaryIO, size: int, what: str) -> bytes:
+    """Read exactly ``size`` bytes or raise a TraceError naming ``what``.
+
+    gzip raises ``BadGzipFile``/``EOFError`` on a corrupt or cut-short
+    compressed stream; both surface here as a truncation of ``what``.
+    """
+    try:
+        chunk = stream.read(size)
+    except (gzip.BadGzipFile, zlib.error, EOFError, OSError) as error:
+        raise TraceError(f"corrupt trace stream while reading {what}: "
+                         f"{error}") from error
+    if len(chunk) != size:
+        raise TraceError(f"truncated {what}: wanted {size} bytes, "
+                         f"got {len(chunk)}")
+    return chunk
 
 
 class FileTrace:
@@ -87,9 +134,7 @@ class FileTrace:
     def __init__(self, path: PathLike) -> None:
         self.path = Path(path)
         with _open(self.path, "rb") as stream:
-            header = stream.read(_HEADER.size)
-            if len(header) != _HEADER.size:
-                raise TraceError("truncated trace header")
+            header = _read_exact(stream, _HEADER.size, "trace header")
             magic, count = _HEADER.unpack(header)
             if magic != MAGIC:
                 raise TraceError(f"not a MORC trace file: {self.path}")

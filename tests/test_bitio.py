@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.bitio import BitReader, BitWriter
-from repro.common.errors import CompressionError
+from repro.common.errors import CompressionError, CorruptBitstreamError
 
 
 class TestBitWriter:
@@ -103,6 +103,73 @@ class TestBitReader:
         reader.read(3)
         assert reader.position == 3
         assert reader.remaining == 5
+
+
+class TestTruncatedStreams:
+    """Hardened decode paths: end-of-stream is a structured error."""
+
+    def test_underflow_is_corrupt_bitstream_error(self):
+        reader = BitReader(0b101, 3)
+        reader.read(2)
+        with pytest.raises(CorruptBitstreamError) as excinfo:
+            reader.read(4)
+        assert excinfo.value.offset == 2
+        assert "underflow" in str(excinfo.value)
+
+    def test_corrupt_bitstream_error_is_compression_error(self):
+        # Callers that caught CompressionError keep working.
+        assert issubclass(CorruptBitstreamError, CompressionError)
+
+    def test_underflow_never_raises_index_error(self):
+        reader = BitReader(0xFFFF, 16)
+        reader.read(10)
+        try:
+            reader.read(100)
+        except CompressionError:
+            pass  # never IndexError / ValueError
+
+    def test_empty_reader_read_raises(self):
+        with pytest.raises(CorruptBitstreamError):
+            BitReader(0, 0).read(1)
+
+    def test_strict_rejects_negative_value(self):
+        with pytest.raises(CorruptBitstreamError):
+            BitReader(-1, 4, strict=True)
+
+    def test_strict_rejects_overlong_value(self):
+        with pytest.raises(CorruptBitstreamError):
+            BitReader(0b1111, 2, strict=True)
+
+    def test_strict_accepts_exact_fit(self):
+        reader = BitReader(0b11, 2, strict=True)
+        assert reader.read(2) == 0b11
+
+    def test_lenient_default_keeps_old_behaviour(self):
+        # Non-strict construction doesn't validate the payload; decoders
+        # built on peek()'s zero-padding rely on this.
+        reader = BitReader(0b11, 2)
+        assert reader.peek(4) == 0b1100
+
+    def test_from_writer_strict(self):
+        writer = BitWriter()
+        writer.write(0xAB, 8)
+        reader = BitReader.from_writer(writer, strict=True)
+        assert reader.read(8) == 0xAB
+
+    def test_from_bytes_strict(self):
+        reader = BitReader.from_bytes(b"\xA5", strict=True)
+        assert reader.read(8) == 0xA5
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=32),
+       st.integers(min_value=1, max_value=64))
+def test_reading_past_end_always_structured(value, bits, over):
+    """Property: overreads raise CorruptBitstreamError, never IndexError."""
+    value &= (1 << bits) - 1 if bits else 0
+    reader = BitReader(value, bits)
+    with pytest.raises(CorruptBitstreamError):
+        reader.read(bits + over)
 
 
 @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**24 - 1),

@@ -104,3 +104,75 @@ class TestErrors:
                              data=b"short")
         with pytest.raises(TraceError):
             write_trace(tmp_path / "x.trc", [record])
+
+
+class TestMalformedRecords:
+    """Hardened I/O: every failure names the record and the field."""
+
+    def _one_good(self):
+        return TraceRecord(address=0x40, is_write=False, gap=1,
+                           data=bytes(64))
+
+    def test_write_names_record_and_field(self, tmp_path):
+        bad = TraceRecord(address=0x80, is_write=True, gap=2,
+                          data=bytes(63))
+        with pytest.raises(TraceError, match=r"record 1: data is 63"):
+            write_trace(tmp_path / "x.trc", [self._one_good(), bad])
+
+    def test_write_rejects_oversized_address(self, tmp_path):
+        bad = TraceRecord(address=2 ** 64, is_write=False, gap=0,
+                          data=bytes(64))
+        with pytest.raises(TraceError, match=r"record 0: address"):
+            write_trace(tmp_path / "x.trc", [bad])
+
+    def test_write_rejects_negative_address(self, tmp_path):
+        bad = TraceRecord(address=-1, is_write=False, gap=0,
+                          data=bytes(64))
+        with pytest.raises(TraceError, match=r"record 0: address"):
+            write_trace(tmp_path / "x.trc", [bad])
+
+    def test_write_rejects_oversized_gap(self, tmp_path):
+        bad = TraceRecord(address=0, is_write=False, gap=2 ** 32,
+                          data=bytes(64))
+        with pytest.raises(TraceError, match=r"record 0: gap"):
+            write_trace(tmp_path / "x.trc", [bad])
+
+    def test_write_rejects_non_bytes_data(self, tmp_path):
+        bad = TraceRecord(address=0, is_write=False, gap=0,
+                          data="x" * 64)  # type: ignore[arg-type]
+        with pytest.raises(TraceError, match=r"record 0: data is str"):
+            write_trace(tmp_path / "x.trc", [bad])
+
+    def test_read_rejects_unknown_flag_bits(self, tmp_path):
+        path = tmp_path / "flags.trc"
+        write_trace(path, [self._one_good()])
+        raw = bytearray(path.read_bytes())
+        raw[16 + 8] |= 0x40  # header is 16 bytes; flags follow address
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceError,
+                           match=r"record 0: unknown flag bits"):
+            read_trace(path)
+
+    def test_truncated_record_names_index(self, tmp_path):
+        path = tmp_path / "cut.trc"
+        write_trace(path, [self._one_good(), self._one_good()])
+        path.write_bytes(path.read_bytes()[:-32])
+        with pytest.raises(TraceError, match=r"record 1"):
+            read_trace(path)
+
+    def test_corrupt_gzip_payload_raises_trace_error(self, tmp_path):
+        path = tmp_path / "t.trc.gz"
+        write_trace(path, [self._one_good()] * 4)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # clobber the deflate stream
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_truncated_gzip_stream_raises_trace_error(self, tmp_path):
+        path = tmp_path / "t.trc.gz"
+        write_trace(path, [self._one_good()] * 8)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 2])  # cut mid-deflate-stream
+        with pytest.raises(TraceError):
+            read_trace(path)
