@@ -53,6 +53,9 @@ class LruPolicy(ReplacementPolicy):
         self._order.move_to_end(key)
 
     def touch(self, key: Hashable) -> None:
+        if key not in self._order:
+            raise LookupError(
+                f"LruPolicy cannot touch non-resident key {key!r}")
         self._order.move_to_end(key)
 
     def remove(self, key: Hashable) -> None:
@@ -83,7 +86,10 @@ class FifoPolicy(ReplacementPolicy):
             self._order[key] = None
 
     def touch(self, key: Hashable) -> None:
-        pass  # FIFO ignores uses
+        if key not in self._order:
+            raise LookupError(
+                f"FifoPolicy cannot touch non-resident key {key!r}")
+        # FIFO ignores uses of resident keys
 
     def remove(self, key: Hashable) -> None:
         self._order.pop(key, None)

@@ -5,6 +5,8 @@ Commands mirror the paper's evaluation:
 - ``run`` — one (benchmark, scheme) simulation with a summary line
 - ``figure2`` / ``figure6`` / ... / ``figure15`` / ``table1`` /
   ``table4`` / ``ablations`` — regenerate a table or figure
+- ``check`` — differential conformance sweep against the golden
+  reference models (``docs/verification.md``)
 - ``list`` — available benchmarks, schemes, experiments and env knobs
 - ``obs`` — summarise an observability trace (``REPRO_OBS=1`` runs)
 """
@@ -127,6 +129,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("-n", "--instructions", type=int,
                               default=120_000)
 
+    check_parser = subparsers.add_parser(
+        "check", help="replay deterministic streams through production "
+                      "models and their golden references, diffing "
+                      "every step")
+    depth = check_parser.add_mutually_exclusive_group()
+    depth.add_argument("--quick", action="store_true",
+                       help="2 stream mixes, short replays (default)")
+    depth.add_argument("--deep", action="store_true",
+                       help="all 4 mixes, longer replays, extra MORC "
+                            "variants")
+    check_parser.add_argument("--seed", type=int, action="append",
+                              default=None, metavar="N",
+                              help="replay seed; repeat for several "
+                                   "(default 0 1 2)")
+    check_parser.add_argument("-c", "--component", action="append",
+                              default=None, dest="components",
+                              help="restrict to a component (repeatable): "
+                                   "policies, set-caches, morc, "
+                                   "channels, metrics")
+
     obs_parser = subparsers.add_parser(
         "obs", help="summarise a JSONL observability trace")
     obs_parser.add_argument("trace_path",
@@ -210,6 +232,12 @@ def _command_list() -> int:
     from repro.obs.config import ALL_CATEGORIES
     print("\nobservability categories (REPRO_OBS_CATEGORIES):")
     print("  " + " ".join(ALL_CATEGORIES))
+    from repro.conformance.driver import ALL_COMPONENTS
+    from repro.conformance.streams import STREAM_MIXES
+    print("\nconformance components (repro check -c):")
+    print("  " + " ".join(ALL_COMPONENTS))
+    print("\nconformance stream mixes:")
+    print("  " + " ".join(STREAM_MIXES))
     print("\nenvironment knobs:")
     knobs = (
         ("REPRO_OBS", "enable metrics + event tracing (default 0)"),
@@ -249,6 +277,22 @@ def _command_list() -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    from repro.conformance import run_check
+    from repro.conformance.driver import ALL_COMPONENTS
+    if args.components:
+        unknown = set(args.components) - set(ALL_COMPONENTS)
+        if unknown:
+            print(f"unknown component(s): {', '.join(sorted(unknown))}; "
+                  f"choose from {', '.join(ALL_COMPONENTS)}",
+                  file=sys.stderr)
+            return 2
+    report = run_check(deep=args.deep, seeds=args.seed,
+                       components=args.components)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _command_obs(args: argparse.Namespace) -> int:
     from repro.obs.summary import render, summarize
     try:
@@ -276,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "list":
         return _command_list()
+    if args.command == "check":
+        return _command_check(args)
     if args.command == "obs":
         return _command_obs(args)
     if args.command == "trace":

@@ -1,0 +1,120 @@
+"""Seeded property-based access/value streams for differential testing.
+
+Each mix reuses :mod:`repro.workloads.datamodel` — the same hierarchical
+value model and address generator the experiments run — but with profiles
+chosen to stress one structural property of the models under test:
+
+- ``zero-heavy``: mostly zero chunks/words (best case for every codec;
+  stresses tag-store limits in the set caches and LBE's zero symbols).
+- ``dup-pool``: small shared block pools (inter-line duplication; MORC's
+  log dictionaries and placement fudge see maximal churn).
+- ``narrow-int``: narrow 8/16-bit words (significance-based truncation,
+  mid-range compressed sizes, so segment rounding boundaries are hit).
+- ``pointer-chase``: hot-set re-references with fine-grained pool reuse
+  (high hit rates, many in-place write-back updates and expansions).
+
+Streams are pure functions of ``(mix, seed)``: every run replays records
+bit-identically, which is what lets the driver diff production vs
+reference at every step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.common.words import LINE_SIZE
+from repro.workloads.datamodel import (
+    AccessProfile,
+    AddressModel,
+    DataProfile,
+    LineDataModel,
+)
+from repro.workloads.trace import TraceRecord
+
+STREAM_MIXES: Dict[str, tuple] = {
+    "zero-heavy": (
+        DataProfile(p_zero_chunk=0.55, p_pool256=0.15, p_pool128=0.25,
+                    p_pool64=0.25, p_zero_word=0.50, p_narrow8=0.15,
+                    p_narrow16=0.10, p_pool32=0.10, pool256_size=6,
+                    pool128_size=8, pool64_size=10, pool32_size=12,
+                    n_families=2),
+        AccessProfile(working_set_lines=512, p_sequential=0.5,
+                      mean_run_lines=6, p_hot=0.2, hot_set_lines=48,
+                      write_fraction=0.25, mean_gap=4.0),
+    ),
+    "dup-pool": (
+        DataProfile(p_zero_chunk=0.05, p_pool256=0.50, p_pool128=0.30,
+                    p_pool64=0.25, p_zero_word=0.10, p_narrow8=0.05,
+                    p_narrow16=0.05, p_pool32=0.20, pool256_size=4,
+                    pool128_size=6, pool64_size=8, pool32_size=12,
+                    n_families=4, family_region_lines=8),
+        AccessProfile(working_set_lines=640, p_sequential=0.45,
+                      mean_run_lines=10, p_hot=0.25, hot_set_lines=64,
+                      write_fraction=0.30, mean_gap=6.0),
+    ),
+    "narrow-int": (
+        DataProfile(p_zero_chunk=0.06, p_pool256=0.06, p_pool128=0.10,
+                    p_pool64=0.12, p_zero_word=0.10, p_narrow8=0.34,
+                    p_narrow16=0.34, p_pool32=0.08, pool256_size=8,
+                    pool128_size=10, pool64_size=12, pool32_size=16,
+                    n_families=2),
+        AccessProfile(working_set_lines=512, p_sequential=0.6,
+                      mean_run_lines=12, p_hot=0.15, hot_set_lines=32,
+                      write_fraction=0.20, mean_gap=8.0),
+    ),
+    "pointer-chase": (
+        DataProfile(p_zero_chunk=0.10, p_pool256=0.05, p_pool128=0.35,
+                    p_pool64=0.45, p_zero_word=0.15, p_narrow8=0.08,
+                    p_narrow16=0.10, p_pool32=0.15, pool256_size=4,
+                    pool128_size=6, pool64_size=10, pool32_size=14,
+                    n_families=2),
+        AccessProfile(working_set_lines=384, p_sequential=0.15,
+                      mean_run_lines=3, p_hot=0.55, hot_set_lines=96,
+                      write_fraction=0.40, mean_gap=3.0),
+    ),
+}
+
+ALL_STREAMS = tuple(STREAM_MIXES)
+
+
+def make_stream(mix: str, n_ops: int, seed: int = 0,
+                working_set_lines: int = 0) -> Iterator[TraceRecord]:
+    """Yield exactly ``n_ops`` deterministic access records for ``mix``.
+
+    Unlike :class:`~repro.workloads.trace.SyntheticTrace` (budgeted by
+    instructions, gaps included), conformance streams count *memory
+    operations*, so both sides of a differential replay see identical
+    step indices.  ``working_set_lines`` overrides the mix's default so a
+    test can force eviction pressure on a tiny cache.
+    """
+    if mix not in STREAM_MIXES:
+        raise ValueError(f"unknown conformance stream {mix!r}; "
+                         f"choose from {', '.join(STREAM_MIXES)}")
+    data_profile, access_profile = STREAM_MIXES[mix]
+    if working_set_lines:
+        access_profile = AccessProfile(
+            working_set_lines=working_set_lines,
+            p_sequential=access_profile.p_sequential,
+            mean_run_lines=access_profile.mean_run_lines,
+            p_hot=access_profile.p_hot,
+            hot_set_lines=min(access_profile.hot_set_lines,
+                              working_set_lines),
+            write_fraction=access_profile.write_fraction,
+            mean_gap=access_profile.mean_gap)
+    data_model = LineDataModel(data_profile, seed=seed)
+    address_model = AddressModel(access_profile, seed=seed)
+    versions: Dict[int, int] = {}
+    for _ in range(n_ops):
+        line, is_write, gap = address_model.next_access()
+        if is_write:
+            versions[line] = versions.get(line, 0) + 1
+        data = data_model.line_data(line, versions.get(line, 0))
+        yield TraceRecord(address=line * LINE_SIZE, is_write=is_write,
+                          gap=gap, data=data)
+
+
+def collect_stream(mix: str, n_ops: int, seed: int = 0,
+                   working_set_lines: int = 0) -> List[TraceRecord]:
+    """Materialise a stream (both replay sides iterate the same list)."""
+    return list(make_stream(mix, n_ops, seed=seed,
+                            working_set_lines=working_set_lines))

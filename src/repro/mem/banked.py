@@ -46,6 +46,10 @@ class BankedMemoryChannel:
         core_hz = config.clock_hz
         self._access_cycles = timing.access_latency_core_cycles(core_hz)
         self._restore_cycles = timing.restore_latency_core_cycles(core_hz)
+        # DDR burst duration converted to core cycles: timing.data_cycles
+        # is in memory-clock cycles and cannot be subtracted from
+        # core-cycle timestamps directly.
+        self._burst_cycles = timing.data_cycles / timing.frequency_hz * core_hz
         self._bank_free: List[float] = [0.0] * n_banks
         self._bus_free = 0.0
         self.stats = StatGroup("banked-memory")
@@ -57,6 +61,18 @@ class BankedMemoryChannel:
         """Bus occupancy of one 64B line, in core cycles."""
         return self.config.cycles_per_line_transfer
 
+    def reset(self) -> None:
+        """Drop all bank/bus backlog and statistics.
+
+        Mirrors :meth:`repro.mem.controller.MemoryChannel.reset`: reusing
+        a channel across measurement phases must not leak the previous
+        phase's ``_bank_free``/``_bus_free`` horizon into the next one.
+        """
+        self._bank_free = [0.0] * self.n_banks
+        self._bus_free = 0.0
+        self._obs_countdown = 0
+        self.stats.reset()
+
     def _bank_for(self, address: int) -> int:
         # Closed-page interleave: consecutive lines hit different banks.
         return (address // 64) % self.n_banks
@@ -67,7 +83,7 @@ class BankedMemoryChannel:
         start = max(now, self._bank_free[bank])
         data_at = start + self._access_cycles
         # The data burst must also win the shared bus.
-        bus_start = max(data_at - self.timing.data_cycles, self._bus_free)
+        bus_start = max(data_at - self._burst_cycles, self._bus_free)
         bus_done = bus_start + self.transfer_cycles
         self._bus_free = bus_done
         # Closed page: the bank restores after the access completes.

@@ -39,8 +39,14 @@ def coarse_grain_throughput(metrics: RunMetrics, threads: int = 4) -> float:
         # cycle in turn; a single-issue core still caps at 1 IPC, but the
         # model reports per-core committed throughput relative to one
         # thread's cycle count, so normalisation against a baseline with
-        # the same property cancels it out.
-        return metrics.instructions / compute if compute else 0.0
+        # the same property cancels it out.  A degenerate trace whose
+        # reservoir holds latencies but no net compute (compute == 0,
+        # e.g. warm-up carved off everything but stalls) still retired
+        # instructions over real cycles — fall back to the plain IPC
+        # definition instead of reporting 0.
+        if compute > 0:
+            return metrics.instructions / compute
+        return metrics.instructions / metrics.cycles
     gap = compute / n_misses
     total_cycles = series_scale(metrics.miss_latencies) * sum(
         max(threads * gap, gap + latency)

@@ -1,0 +1,49 @@
+"""Differential conformance: derived metrics vs their direct-definition
+references (CGMT throughput, compression ratio)."""
+
+import pytest
+
+from repro.conformance import run_check
+from repro.conformance.reference import (
+    ref_coarse_grain_throughput,
+    ref_compression_ratio,
+)
+from repro.obs.reservoir import MissSeries
+from repro.sim.metrics import RunMetrics
+from repro.sim.throughput import coarse_grain_throughput
+
+pytestmark = pytest.mark.conformance
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_metrics_conform(seed):
+    report = run_check(seeds=[seed], components=["metrics"])
+    assert report.passed, report.render()
+
+
+@pytest.mark.parametrize("threads", (1, 2, 4))
+def test_cgmt_matches_direct_definition(threads):
+    latencies = [120.0, 300.0, 90.0, 1500.0]
+    metrics = RunMetrics(instructions=4000,
+                         cycles=4000.0 + sum(latencies),
+                         miss_latencies=MissSeries(latencies))
+    assert (coarse_grain_throughput(metrics, threads)
+            == ref_coarse_grain_throughput(4000, metrics.cycles,
+                                           latencies, threads))
+
+
+def test_single_thread_cgmt_is_plain_ipc():
+    """With one thread every round costs ``gap + latency``, so the model
+    must collapse to committed instructions over total cycles."""
+    latencies = [250.0, 40.0]
+    metrics = RunMetrics(instructions=1000,
+                         cycles=1000.0 + sum(latencies),
+                         miss_latencies=MissSeries(latencies))
+    assert coarse_grain_throughput(metrics, threads=1) == pytest.approx(
+        metrics.ipc)
+
+
+def test_ref_compression_ratio_definition():
+    assert ref_compression_ratio(96, 128) == 0.75

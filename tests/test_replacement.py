@@ -41,6 +41,12 @@ class TestLru:
         with pytest.raises(LookupError):
             LruPolicy().victim()
 
+    def test_touch_nonresident_raises_named_lookup_error(self):
+        """Regression: touching an absent key used to surface as a bare
+        OrderedDict KeyError; the policy now names itself and the key."""
+        with pytest.raises(LookupError, match=r"LruPolicy.*'ghost'"):
+            LruPolicy("ab").touch("ghost")
+
     def test_contains(self):
         lru = LruPolicy("ab")
         assert "a" in lru and "z" not in lru
@@ -64,6 +70,12 @@ class TestFifo:
     def test_empty_victim_raises(self):
         with pytest.raises(LookupError):
             FifoPolicy().victim()
+
+    def test_touch_nonresident_raises_named_lookup_error(self):
+        """FIFO ignores uses of resident keys but must reject absent
+        ones just like LRU (consistent policy contract)."""
+        with pytest.raises(LookupError, match=r"FifoPolicy.*'ghost'"):
+            FifoPolicy("ab").touch("ghost")
 
 
 class TestFactory:

@@ -24,6 +24,26 @@ class TestCoarseGrainThroughput:
         m = metrics(1000, [])
         assert coarse_grain_throughput(m) == pytest.approx(1.0)
 
+    def test_degenerate_stall_only_trace_falls_back_to_ipc(self):
+        """Regression: a trace whose reservoir retained stall mass but no
+        samples (all compute carved off, e.g. by warm-up subtraction)
+        used to report 0.0 despite retiring instructions."""
+        from repro.obs.reservoir import MissSeries
+        stalls = MissSeries()
+        stalls.total = 400.0  # aggregate stall mass, zero stored samples
+        m = RunMetrics(instructions=500, cycles=400.0,
+                       miss_latencies=stalls)
+        assert len(m.miss_latencies) == 0
+        assert m.compute_cycles == 0.0
+        assert coarse_grain_throughput(m) == pytest.approx(500 / 400.0)
+
+    def test_single_thread_no_miss_round_overlap(self):
+        """threads=1: every round costs gap + latency, so throughput is
+        exactly committed instructions over total cycles."""
+        m = metrics(1000, [250.0, 40.0])
+        assert coarse_grain_throughput(m, threads=1) == pytest.approx(
+            m.ipc)
+
     def test_fully_hidden_miss(self):
         """A miss shorter than three inter-miss gaps costs nothing."""
         # one miss after a gap of 100, latency 250 < 3*100
